@@ -1,0 +1,56 @@
+// Command up2pbench runs the experiment suite of EXPERIMENTS.md and
+// prints every table/figure reproduction (F1–F3, E1–E8).
+//
+//	up2pbench            # run everything
+//	up2pbench -run E3    # one experiment
+//	up2pbench -list      # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "up2pbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		only = flag.String("run", "", "run a single experiment by ID (F1..F3, E1..E8)")
+		list = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range bench.All() {
+			fmt.Printf("%-4s %s\n", r.ID, r.Name)
+		}
+		return nil
+	}
+	runners := bench.All()
+	if *only != "" {
+		r, ok := bench.ByID(*only)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (try -list)", *only)
+		}
+		runners = []bench.Runner{r}
+	}
+	for _, r := range runners {
+		start := time.Now()
+		tbl, err := r.Run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.ID, err)
+		}
+		fmt.Println(tbl.Format())
+		fmt.Printf("(%s completed in %v)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,198 @@
+// Command up2pctl is a command-line client for a running up2pd
+// servent's web interface: publish, search, discover, join, view.
+//
+//	up2pctl -servent http://127.0.0.1:8080 communities
+//	up2pctl -servent http://127.0.0.1:8080 discover keywords=gof
+//	up2pctl -servent http://127.0.0.1:8080 search <communityID> title=Observer
+//	up2pctl -servent http://127.0.0.1:8080 create <communityID> title=X artist=Y genre=jazz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "up2pctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("up2pctl", flag.ContinueOnError)
+	serventURL := fs.String("servent", "http://127.0.0.1:8080", "servent base URL")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		return fmt.Errorf("usage: up2pctl [-servent URL] communities|discover|search|create|view ...")
+	}
+	client := &client{base: strings.TrimRight(*serventURL, "/"), http: http.DefaultClient}
+	switch rest[0] {
+	case "communities":
+		return client.communities()
+	case "discover":
+		return client.discover(rest[1:])
+	case "search":
+		if len(rest) < 2 {
+			return fmt.Errorf("usage: search <communityID> [field=value ...]")
+		}
+		return client.search(rest[1], rest[2:])
+	case "create":
+		if len(rest) < 2 {
+			return fmt.Errorf("usage: create <communityID> field=value ...")
+		}
+		return client.create(rest[1], rest[2:])
+	case "view":
+		if len(rest) != 2 {
+			return fmt.Errorf("usage: view <docID>")
+		}
+		return client.view(rest[1])
+	default:
+		return fmt.Errorf("unknown subcommand %q", rest[0])
+	}
+}
+
+type client struct {
+	base string
+	http *http.Client
+}
+
+func (c *client) get(path string) (string, error) {
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode >= 400 {
+		return "", fmt.Errorf("servent returned %s: %s", resp.Status, stripTags(string(body)))
+	}
+	return string(body), nil
+}
+
+func kvToValues(kvs []string) (url.Values, error) {
+	vals := url.Values{}
+	for _, kv := range kvs {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("argument %q is not field=value", kv)
+		}
+		vals.Add(k, v)
+	}
+	return vals, nil
+}
+
+func (c *client) communities() error {
+	body, err := c.get("/")
+	if err != nil {
+		return err
+	}
+	for _, li := range extract(body, "<li>", "</li>") {
+		fmt.Println(stripTags(li))
+	}
+	return nil
+}
+
+func (c *client) discover(kvs []string) error {
+	vals, err := kvToValues(kvs)
+	if err != nil {
+		return err
+	}
+	body, err := c.get("/discover?" + vals.Encode())
+	if err != nil {
+		return err
+	}
+	printRows(body)
+	return nil
+}
+
+func (c *client) search(community string, kvs []string) error {
+	vals, err := kvToValues(kvs)
+	if err != nil {
+		return err
+	}
+	vals.Set("community", community)
+	body, err := c.get("/search?" + vals.Encode())
+	if err != nil {
+		return err
+	}
+	printRows(body)
+	return nil
+}
+
+func (c *client) create(community string, kvs []string) error {
+	vals, err := kvToValues(kvs)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.PostForm(c.base+"/create?community="+url.QueryEscape(community), vals)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode >= 400 {
+		return fmt.Errorf("create failed (%s): %s", resp.Status, stripTags(string(body)))
+	}
+	fmt.Println("created; final URL:", resp.Request.URL)
+	return nil
+}
+
+func (c *client) view(docID string) error {
+	body, err := c.get("/view?doc=" + url.QueryEscape(docID))
+	if err != nil {
+		return err
+	}
+	fmt.Println(stripTags(body))
+	return nil
+}
+
+func printRows(body string) {
+	rows := extract(body, "<tr>", "</tr>")
+	for _, r := range rows {
+		cells := extract(r, "<td>", "</td>")
+		if len(cells) == 0 {
+			continue
+		}
+		out := make([]string, 0, len(cells))
+		for _, cell := range cells {
+			out = append(out, strings.TrimSpace(stripTags(cell)))
+		}
+		fmt.Println(strings.Join(out, " | "))
+	}
+}
+
+func extract(s, open, close string) []string {
+	var out []string
+	for {
+		i := strings.Index(s, open)
+		if i < 0 {
+			return out
+		}
+		s = s[i+len(open):]
+		j := strings.Index(s, close)
+		if j < 0 {
+			return out
+		}
+		out = append(out, s[:j])
+		s = s[j+len(close):]
+	}
+}
+
+var tagRE = regexp.MustCompile(`<[^>]*>`)
+
+func stripTags(s string) string {
+	return strings.TrimSpace(tagRE.ReplaceAllString(s, " "))
+}

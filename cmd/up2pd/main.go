@@ -1,0 +1,233 @@
+// Command up2pd runs a U-P2P servent: a web interface (§IV.B) over a
+// P2P node speaking either the centralized (Napster-style) or the
+// Gnutella protocol, over real TCP.
+//
+// Topology bootstrapping:
+//
+//	# start a centralized index server
+//	up2pd -mode indexserver -p2p 127.0.0.1:7001
+//
+//	# start a servent against it
+//	up2pd -mode centralized -p2p 127.0.0.1:7002 -server 127.0.0.1:7001 -http 127.0.0.1:8081
+//
+//	# or a Gnutella servent with bootstrap neighbors
+//	up2pd -mode gnutella -p2p 127.0.0.1:7002 -neighbors 127.0.0.1:7003,127.0.0.1:7004 -http 127.0.0.1:8081
+//
+// Optionally pre-seed a demo community: -seed designpatterns|mp3|cml|species.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/index"
+	"repro/internal/p2p"
+	"repro/internal/query"
+	"repro/internal/servent"
+	"repro/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "up2pd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		mode      = flag.String("mode", "centralized", "indexserver | superpeer | centralized | gnutella | fasttrack")
+		p2pAddr   = flag.String("p2p", "127.0.0.1:7001", "TCP address for the P2P layer")
+		httpAddr  = flag.String("http", "127.0.0.1:8080", "HTTP address for the web interface")
+		server    = flag.String("server", "", "index server / super-peer address (centralized, fasttrack modes)")
+		neighbors = flag.String("neighbors", "", "comma-separated neighbors (gnutella nodes, super-peer overlay)")
+		seed      = flag.String("seed", "", "pre-seed a demo community: designpatterns|mp3|cml|species")
+		seedN     = flag.Int("seedn", 23, "number of seeded objects")
+		stateDir  = flag.String("state", "", "directory for persistent state (loaded at start, saved on shutdown)")
+	)
+	flag.Parse()
+
+	node, err := transport.ListenTCP(*p2pAddr)
+	if err != nil {
+		return err
+	}
+	log.Printf("p2p listening on %s", node.ID())
+
+	switch *mode {
+	case "indexserver":
+		p2p.NewIndexServer(node)
+		log.Printf("index server running; Ctrl-C to stop")
+		waitForInterrupt()
+		return node.Close()
+	case "superpeer":
+		sp := p2p.NewSuperPeer(node)
+		for _, n := range strings.Split(*neighbors, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				sp.AddNeighbor(transport.PeerID(n))
+			}
+		}
+		log.Printf("super-peer running; Ctrl-C to stop")
+		waitForInterrupt()
+		return sp.Close()
+	}
+
+	store := index.NewStore()
+	var network p2p.Network
+	switch *mode {
+	case "centralized":
+		if *server == "" {
+			return fmt.Errorf("centralized mode requires -server")
+		}
+		network = p2p.NewCentralizedClient(node, transport.PeerID(*server), store)
+	case "fasttrack":
+		if *server == "" {
+			return fmt.Errorf("fasttrack mode requires -server (the super-peer)")
+		}
+		network = p2p.NewFastTrackLeaf(node, transport.PeerID(*server), store)
+	case "gnutella":
+		g := p2p.NewGnutellaNode(node, store)
+		for _, n := range strings.Split(*neighbors, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				g.AddNeighbor(transport.PeerID(n))
+			}
+		}
+		// Grow the overlay beyond the bootstrap list via Ping/Pong.
+		if found := g.Discover(3); len(found) > 0 {
+			log.Printf("discovered %d additional peers via ping/pong", len(found))
+		}
+		network = g
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+
+	sv, err := core.NewServent(network, store)
+	if err != nil {
+		return err
+	}
+	if *stateDir != "" {
+		if err := loadState(sv, *stateDir); err != nil {
+			return err
+		}
+		defer func() {
+			if err := saveState(sv, *stateDir); err != nil {
+				log.Printf("save state: %v", err)
+			}
+		}()
+	}
+	if *seed != "" {
+		if err := seedCommunity(sv, *seed, *seedN); err != nil {
+			return err
+		}
+		log.Printf("seeded %d %s objects", *seedN, *seed)
+	}
+
+	h := servent.New(sv)
+	log.Printf("web interface on http://%s/", *httpAddr)
+	srv := &http.Server{Addr: *httpAddr, Handler: h}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	intc := make(chan os.Signal, 1)
+	signal.Notify(intc, os.Interrupt)
+	select {
+	case err := <-errc:
+		return err
+	case <-intc:
+		log.Printf("shutting down")
+		_ = srv.Close()
+		return sv.Close()
+	}
+}
+
+func seedCommunity(sv *core.Servent, name string, n int) error {
+	c, err := corpus.ByName(name, n, 1)
+	if err != nil {
+		return err
+	}
+	comm, err := sv.CreateCommunity(core.CommunitySpec{
+		Name:        name,
+		Description: "seeded demo community",
+		Keywords:    name,
+		SchemaSrc:   c.SchemaSrc,
+	})
+	if err != nil {
+		return err
+	}
+	for _, o := range c.Objects {
+		if _, err := sv.Publish(comm.ID, o.Doc, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func waitForInterrupt() {
+	intc := make(chan os.Signal, 1)
+	signal.Notify(intc, os.Interrupt)
+	<-intc
+}
+
+// loadState restores servent state and store from dir when the
+// snapshot files exist; a fresh directory is not an error.
+func loadState(sv *core.Servent, dir string) error {
+	stateFile := filepath.Join(dir, "servent.json")
+	if f, err := os.Open(stateFile); err == nil {
+		defer f.Close()
+		if err := sv.LoadState(f); err != nil {
+			return err
+		}
+		log.Printf("restored servent state from %s", stateFile)
+	}
+	storeFile := filepath.Join(dir, "store.json")
+	if f, err := os.Open(storeFile); err == nil {
+		defer f.Close()
+		if err := sv.Store().Load(f); err != nil {
+			return err
+		}
+		// Re-announce restored objects.
+		for _, communityID := range sv.Store().Communities() {
+			for _, d := range sv.SearchLocal(communityID, query.MatchAll{}, 0) {
+				if err := sv.Network().Publish(d); err != nil {
+					return err
+				}
+			}
+		}
+		log.Printf("restored %d objects from %s", sv.Store().Len(), storeFile)
+	}
+	return nil
+}
+
+// saveState writes servent state and store snapshots into dir.
+func saveState(sv *core.Servent, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, save func(io.Writer) error) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := save(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write("servent.json", sv.SaveState); err != nil {
+		return err
+	}
+	if err := write("store.json", sv.Store().Save); err != nil {
+		return err
+	}
+	log.Printf("saved state to %s", dir)
+	return nil
+}

@@ -1,0 +1,108 @@
+// Protocol independence (paper §VI): the same U-P2P workload — create
+// a community, publish MP3 objects, run metadata searches — executed
+// twice, over a Napster-style centralized index and over a Gnutella
+// flood, with zero changes to the application code. The example prints
+// result parity and the message-cost difference between the two.
+//
+// Run: go run ./examples/gnutellavsnapster
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/p2p"
+	"repro/internal/query"
+	"repro/internal/sim"
+)
+
+const peers = 10
+
+var searches = []string{
+	"(genre=jazz)",
+	"(artist~=miles)",
+	"(&(genre=rock)(year>=1970))",
+	"(title~=blue)",
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// workload runs the identical application logic over any protocol and
+// reports sorted result titles and message counts per query.
+func workload(proto sim.Protocol) (map[string][]string, map[string]int64, error) {
+	titles := map[string][]string{}
+	msgs := map[string]int64{}
+	c, err := sim.NewCluster(sim.Config{Peers: peers, Protocol: proto, Degree: 4, Seed: 99})
+	if err != nil {
+		return nil, nil, err
+	}
+	comm, err := c.SeedCommunity(0, core.CommunitySpec{
+		Name:      "mp3",
+		Keywords:  "music trading",
+		Protocol:  protoName(proto),
+		SchemaSrc: corpus.SongSchemaSrc,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := c.DiscoverAndJoinAll("mp3", peers); err != nil {
+		return nil, nil, err
+	}
+	if _, err := c.PublishRoundRobin(comm.ID, corpus.Songs(80, 99).Objects); err != nil {
+		return nil, nil, err
+	}
+	for _, q := range searches {
+		c.ResetStats()
+		rs, err := c.SearchFrom(peers/2, comm.ID, query.MustParse(q), p2p.SearchOptions{TTL: 7})
+		if err != nil {
+			return nil, nil, err
+		}
+		ts := make([]string, 0, len(rs))
+		for _, r := range rs {
+			ts = append(ts, r.Title)
+		}
+		sort.Strings(ts)
+		titles[q] = ts
+		msgs[q] = c.Stats().Messages
+	}
+	return titles, msgs, nil
+}
+
+func protoName(p sim.Protocol) string {
+	if p == sim.Centralized {
+		return "Napster"
+	}
+	return "Gnutella"
+}
+
+func run() error {
+	fmt.Printf("running identical workload over both protocols (%d peers, 80 songs)\n\n", peers)
+	nTitles, nMsgs, err := workload(sim.Centralized)
+	if err != nil {
+		return err
+	}
+	gTitles, gMsgs, err := workload(sim.Gnutella)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-34s %8s %8s %9s %8s %8s\n", "query", "nap hits", "gnu hits", "identical", "nap msg", "gnu msg")
+	for _, q := range searches {
+		same := "yes"
+		if strings.Join(nTitles[q], "|") != strings.Join(gTitles[q], "|") {
+			same = "NO"
+		}
+		fmt.Printf("%-34s %8d %8d %9s %8d %8d\n",
+			q, len(nTitles[q]), len(gTitles[q]), same, nMsgs[q], gMsgs[q])
+	}
+	fmt.Println("\nsame application code, same results; only the message bill differs —")
+	fmt.Println("the generic create/search/retrieve interface of §VI, demonstrated.")
+	return nil
+}

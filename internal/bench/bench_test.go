@@ -1,0 +1,226 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRun executes every experiment once and checks the
+// structural invariants of their tables.
+func TestAllExperimentsRun(t *testing.T) {
+	for _, r := range All() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			tbl, err := r.Run()
+			if err != nil {
+				t.Fatalf("%s: %v", r.ID, err)
+			}
+			if tbl.ID != r.ID {
+				t.Errorf("table ID = %q", tbl.ID)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatal("no rows")
+			}
+			for i, row := range tbl.Rows {
+				if len(row) != len(tbl.Headers) {
+					t.Errorf("row %d has %d cells, want %d", i, len(row), len(tbl.Headers))
+				}
+			}
+			out := tbl.Format()
+			if !strings.Contains(out, r.ID) {
+				t.Error("formatted table missing ID")
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("e2"); !ok {
+		t.Error("case-insensitive lookup failed")
+	}
+	if _, ok := ByID("zz"); ok {
+		t.Error("bogus ID found")
+	}
+}
+
+// TestE1Shape verifies the paper's expected shape: 100% discovery and
+// centralized cost per joiner below flooding cost at the largest N.
+func TestE1Shape(t *testing.T) {
+	tbl, err := RunE1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	perJoiner := map[string]float64{}
+	for _, row := range tbl.Rows {
+		if row[3] != "100%" {
+			t.Errorf("discovery not total: %v", row)
+		}
+		if row[1] == "32" {
+			per, _ := strconv.ParseFloat(row[5], 64)
+			perJoiner[row[0]] = per
+		}
+	}
+	if !(perJoiner["centralized"] < perJoiner["fasttrack"] && perJoiner["fasttrack"] < perJoiner["gnutella"]) {
+		t.Errorf("per-joiner cost ordering violated at N=32: %v", perJoiner)
+	}
+}
+
+// TestE2Shape verifies metadata recall dominates filename recall on
+// attribute queries (the paper's core motivation).
+func TestE2Shape(t *testing.T) {
+	tbl, err := RunE2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	attributeRows := 0
+	for _, row := range tbl.Rows {
+		meta := pct(t, row[3])
+		file := pct(t, row[5])
+		if meta != 100 {
+			t.Errorf("metadata recall %v%% on %q, want 100%%", meta, row[0])
+		}
+		if !strings.Contains(row[0], "name") {
+			attributeRows++
+			if file >= meta {
+				t.Errorf("filename recall %v%% >= metadata %v%% on attribute query %q", file, meta, row[0])
+			}
+		}
+	}
+	if attributeRows < 3 {
+		t.Errorf("too few attribute queries: %d", attributeRows)
+	}
+}
+
+// TestE3Shape verifies flooding cost grows with N while centralized
+// cost stays flat, and that TTL trades coverage for messages.
+func TestE3Shape(t *testing.T) {
+	tbl, err := RunE3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var central []float64
+	var flood []float64
+	ttlMsgs := map[int]float64{}
+	ttlResults := map[int]float64{}
+	for _, row := range tbl.Rows {
+		msgs, _ := strconv.ParseFloat(row[3], 64)
+		switch row[0] {
+		case "centralized":
+			central = append(central, msgs)
+		case "gnutella":
+			if row[1] == "32" {
+				ttl, _ := strconv.Atoi(row[2])
+				ttlMsgs[ttl] = msgs
+				res, _ := strconv.ParseFloat(row[5], 64)
+				ttlResults[ttl] = res
+			}
+			if row[2] == "7" {
+				flood = append(flood, msgs)
+			}
+		}
+	}
+	for _, m := range central {
+		if m > 4 {
+			t.Errorf("centralized msgs/query = %v, want O(1)", m)
+		}
+	}
+	if len(flood) >= 2 && flood[len(flood)-1] <= flood[0] {
+		t.Errorf("flooding cost not growing with N: %v", flood)
+	}
+	if ttlMsgs[1] >= ttlMsgs[7] {
+		t.Errorf("TTL1 msgs %v >= TTL7 msgs %v", ttlMsgs[1], ttlMsgs[7])
+	}
+	if ttlResults[1] > ttlResults[7] {
+		t.Errorf("TTL1 results %v > TTL7 %v", ttlResults[1], ttlResults[7])
+	}
+}
+
+// TestE4Shape verifies postings grow with marked fields and recall
+// reaches 100% when all queried fields are marked.
+func TestE4Shape(t *testing.T) {
+	tbl, err := RunE4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var postings []int
+	for _, row := range tbl.Rows {
+		p, _ := strconv.Atoi(row[1])
+		postings = append(postings, p)
+	}
+	for i := 1; i < len(postings); i++ {
+		if postings[i] < postings[i-1] {
+			t.Errorf("postings not monotone: %v", postings)
+		}
+	}
+	last := tbl.Rows[len(tbl.Rows)-1]
+	if pct(t, last[3]) != 100 {
+		t.Errorf("full marking recall = %v", last[3])
+	}
+	first := tbl.Rows[0]
+	if pct(t, first[3]) >= 100 {
+		t.Errorf("single-field recall = %v, expected partial", first[3])
+	}
+}
+
+// TestE5Shape verifies availability rises with replication.
+func TestE5Shape(t *testing.T) {
+	tbl, err := RunE5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	avail := map[string]map[int]float64{} // failFrac -> replicas -> availability
+	for _, row := range tbl.Rows {
+		r, _ := strconv.Atoi(row[0])
+		if avail[row[1]] == nil {
+			avail[row[1]] = map[int]float64{}
+		}
+		avail[row[1]][r] = pct(t, row[3])
+	}
+	for frac, m := range avail {
+		if m[8] < m[1] {
+			t.Errorf("fail %s: availability with 8 replicas (%v) below 1 replica (%v)", frac, m[8], m[1])
+		}
+		if m[8] < 90 {
+			t.Errorf("fail %s: 8 replicas only %v%% available", frac, m[8])
+		}
+	}
+}
+
+// TestE8Shape verifies both protocols return identical result sets.
+func TestE8Shape(t *testing.T) {
+	tbl, err := RunE8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		if row[3] != "yes" {
+			t.Errorf("results differ across protocols for %q: %v", row[0], row)
+		}
+	}
+}
+
+func pct(t *testing.T, s string) float64 {
+	t.Helper()
+	s = strings.TrimSuffix(s, "%")
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("bad percentage %q", s)
+	}
+	return f
+}
+
+func TestTableFormat(t *testing.T) {
+	tbl := Table{
+		ID: "T", Title: "demo",
+		Headers: []string{"a", "long-header"},
+		Rows:    [][]string{{"xxxxxx", "1"}},
+		Notes:   []string{"a note"},
+	}
+	out := tbl.Format()
+	for _, want := range []string{"T — demo", "long-header", "xxxxxx", "note: a note", "------"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("format missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+// Package bench implements the experiment harness behind
+// EXPERIMENTS.md: one runner per figure (F1–F3) and per quantified
+// claim (E1–E8), each reproducing the corresponding artifact of the
+// paper as a printed table. All runs are seeded and deterministic.
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment's output: paper-style rows.
+type Table struct {
+	// ID is the experiment identifier (F1..F3, E1..E8).
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Headers name the columns.
+	Headers []string
+	// Rows hold the measurements.
+	Rows [][]string
+	// Notes carry the expected shape and caveats.
+	Notes []string
+}
+
+// Format renders the table as aligned text.
+func (t Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if i < len(widths) {
+				for p := len(cell); p < widths[i]; p++ {
+					b.WriteByte(' ')
+				}
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Runner is one experiment entry point.
+type Runner struct {
+	ID   string
+	Name string
+	Run  func() (Table, error)
+}
+
+// All returns every experiment in presentation order.
+func All() []Runner {
+	return []Runner{
+		{"F1", "shared object model pipeline (Fig. 1)", RunF1},
+		{"F2", "schema-to-form generation (Fig. 2)", RunF2},
+		{"F3", "community schema round trip (Fig. 3)", RunF3},
+		{"E1", "community discovery via root community", RunE1},
+		{"E2", "metadata vs filename search recall", RunE2},
+		{"E3", "protocol message cost: centralized vs flooding", RunE3},
+		{"E4", "index selectivity (searchable-field marking)", RunE4},
+		{"E5", "replication vs availability under churn", RunE5},
+		{"E6", "generative pipeline throughput", RunE6},
+		{"E7", "design-pattern case study (§V)", RunE7},
+		{"E8", "protocol independence", RunE8},
+	}
+}
+
+// ByID finds a runner.
+func ByID(id string) (Runner, bool) {
+	for _, r := range All() {
+		if strings.EqualFold(r.ID, id) {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}

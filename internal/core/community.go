@@ -1,0 +1,323 @@
+// Package core implements U-P2P itself: communities described by XML
+// Schema, the servent that creates/searches/views shared objects, and
+// the paper's central idea — the community-as-object bootstrap.
+//
+// "a specific U-P2P community can be seen as a class instantiated by a
+// more general metaclass: a Community-sharing community shares
+// Community objects" (§I). The root community is compiled in; its
+// schema is the paper's Fig. 3. Discovering a community is searching
+// the root community; joining one is downloading its object plus the
+// attached schema and stylesheets.
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/stylegen"
+	"repro/internal/xmldoc"
+	"repro/internal/xsd"
+	"repro/internal/xslt"
+)
+
+// RootCommunityID is the well-known ID of the bootstrap community that
+// every servent joins by default ("All users are members of the global
+// or root community by default", §IV.A).
+const RootCommunityID = "up2p-root"
+
+// rootSchemaSrc is the paper's Fig. 3 schema, verbatim (plus the up2p
+// namespace declaration used by the searchable markers on no fields —
+// the root community indexes every field, matching the prototype).
+const rootSchemaSrc = `<?xml version="1.0"?>
+<schema xmlns="http://www.w3.org/2001/XMLSchema">
+ <element name="community">
+  <complexType>
+   <sequence>
+    <element name="name" type="xsd:string"/>
+    <element name="description" type="xsd:string"/>
+    <element name="keywords" type="xsd:string"/>
+    <element name="category" type="xsd:string"/>
+    <element name="security" type="xsd:string"/>
+    <element name="protocol" type="protocolTypes"/>
+    <element name="schema" type="xsd:anyURI"/>
+    <element name="displaystyle" type="xsd:anyURI"/>
+    <element name="createstyle" type="xsd:anyURI"/>
+    <element name="searchstyle" type="xsd:anyURI"/>
+   </sequence>
+  </complexType>
+ </element>
+ <simpleType name="protocolTypes">
+  <restriction base="string">
+   <enumeration value=""/>
+   <enumeration value="Napster"/>
+   <enumeration value="Gnutella"/>
+   <enumeration value="FastTrack"/>
+  </restriction>
+ </simpleType>
+</schema>`
+
+// Community is a resource-sharing community: the object class it
+// shares (the schema) plus its presentation stylesheets and the
+// descriptive attributes of Fig. 3.
+type Community struct {
+	// ID is derived from the community's content hash, so the same
+	// community created on two peers coincides.
+	ID string
+	// Descriptive attributes (Fig. 3).
+	Name        string
+	Description string
+	Keywords    string
+	Category    string
+	Security    string
+	Protocol    string
+	// SchemaSrc is the XML Schema text describing shared objects.
+	SchemaSrc string
+	// Schema is the parsed form of SchemaSrc.
+	Schema *xsd.Schema
+	// Custom stylesheet sources; empty means use the defaults.
+	DisplayStyleSrc string
+	CreateStyleSrc  string
+	SearchStyleSrc  string
+	// IndexStyleSrc optionally overrides the generated indexing
+	// transform (§V: the community designer controls indexing).
+	IndexStyleSrc string
+}
+
+// Errors from community handling.
+var (
+	ErrNoName   = errors.New("core: community needs a name")
+	ErrNoSchema = errors.New("core: community needs a schema")
+)
+
+// CommunitySpec is the input to CreateCommunity: the meta-data a user
+// fills into the root community's create form.
+type CommunitySpec struct {
+	Name        string
+	Description string
+	Keywords    string
+	Category    string
+	Security    string
+	Protocol    string // "", "Napster", "Gnutella", "FastTrack"
+	SchemaSrc   string
+	// Optional custom stylesheets.
+	DisplayStyleSrc string
+	CreateStyleSrc  string
+	SearchStyleSrc  string
+	IndexStyleSrc   string
+}
+
+// NewCommunity validates a spec and constructs the Community.
+func NewCommunity(spec CommunitySpec) (*Community, error) {
+	if strings.TrimSpace(spec.Name) == "" {
+		return nil, ErrNoName
+	}
+	if strings.TrimSpace(spec.SchemaSrc) == "" {
+		return nil, ErrNoSchema
+	}
+	schema, err := xsd.ParseString(spec.SchemaSrc)
+	if err != nil {
+		return nil, fmt.Errorf("core: community schema: %w", err)
+	}
+	for _, src := range []string{spec.DisplayStyleSrc, spec.CreateStyleSrc, spec.SearchStyleSrc, spec.IndexStyleSrc} {
+		if src == "" {
+			continue
+		}
+		if _, err := xslt.CompileString(src); err != nil {
+			return nil, fmt.Errorf("core: community stylesheet: %w", err)
+		}
+	}
+	c := &Community{
+		Name:            spec.Name,
+		Description:     spec.Description,
+		Keywords:        spec.Keywords,
+		Category:        spec.Category,
+		Security:        spec.Security,
+		Protocol:        spec.Protocol,
+		SchemaSrc:       spec.SchemaSrc,
+		Schema:          schema,
+		DisplayStyleSrc: spec.DisplayStyleSrc,
+		CreateStyleSrc:  spec.CreateStyleSrc,
+		SearchStyleSrc:  spec.SearchStyleSrc,
+		IndexStyleSrc:   spec.IndexStyleSrc,
+	}
+	c.ID = communityID(c)
+	return c, nil
+}
+
+// communityID hashes the identity-bearing parts of a community.
+func communityID(c *Community) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%s", c.Name, c.SchemaSrc)
+	return "c-" + hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// RootCommunity constructs the compiled-in bootstrap community.
+func RootCommunity() *Community {
+	c := &Community{
+		ID:          RootCommunityID,
+		Name:        "Community-sharing community",
+		Description: "The root community: shares Community objects so that communities themselves can be discovered (U-P2P bootstrap).",
+		Keywords:    "community discovery bootstrap root metaclass",
+		Category:    "meta",
+		Security:    "open",
+		Protocol:    "",
+		SchemaSrc:   rootSchemaSrc,
+		Schema:      xsd.MustParseString(rootSchemaSrc),
+	}
+	return c
+}
+
+// Attachment URI layout: communities carry their schema and
+// stylesheets as attachments, downloaded when the community object is
+// retrieved (§IV.C.1's attachment mechanism applied to the bootstrap).
+const (
+	attachSchema  = "schema.xsd"
+	attachDisplay = "display.xsl"
+	attachCreate  = "create.xsl"
+	attachSearch  = "search.xsl"
+	attachIndex   = "index.xsl"
+)
+
+// AttachmentURI names one attachment of a document.
+func AttachmentURI(docID, name string) string {
+	return "up2p://" + docID + "/" + name
+}
+
+// Marshal renders the community as a shared XML object valid under the
+// root community schema, plus its attachment contents keyed by URI.
+func (c *Community) Marshal() (*xmldoc.Node, map[string][]byte) {
+	docID := c.ID
+	uri := func(name string) string { return AttachmentURI(docID, name) }
+
+	doc := xmldoc.NewElement("community")
+	doc.SetChildText("name", c.Name)
+	doc.SetChildText("description", c.Description)
+	doc.SetChildText("keywords", c.Keywords)
+	doc.SetChildText("category", c.Category)
+	doc.SetChildText("security", c.Security)
+	doc.SetChildText("protocol", c.Protocol)
+	doc.SetChildText("schema", uri(attachSchema))
+
+	attachments := map[string][]byte{
+		uri(attachSchema): []byte(c.SchemaSrc),
+	}
+	defCreate, defSearch, defView := stylegen.DefaultSources()
+	display, create, search := c.DisplayStyleSrc, c.CreateStyleSrc, c.SearchStyleSrc
+	if display == "" {
+		display = defView
+	}
+	if create == "" {
+		create = defCreate
+	}
+	if search == "" {
+		search = defSearch
+	}
+	doc.SetChildText("displaystyle", uri(attachDisplay))
+	doc.SetChildText("createstyle", uri(attachCreate))
+	doc.SetChildText("searchstyle", uri(attachSearch))
+	attachments[uri(attachDisplay)] = []byte(display)
+	attachments[uri(attachCreate)] = []byte(create)
+	attachments[uri(attachSearch)] = []byte(search)
+	if c.IndexStyleSrc != "" {
+		attachments[uri(attachIndex)] = []byte(c.IndexStyleSrc)
+	}
+	return doc, attachments
+}
+
+// UnmarshalCommunity reconstructs a Community from its shared object
+// and downloaded attachments. Custom stylesheets are recognised by
+// their attachment names; absent ones fall back to defaults.
+func UnmarshalCommunity(doc *xmldoc.Node, attachments map[string][]byte) (*Community, error) {
+	if doc == nil || doc.LocalName() != "community" {
+		return nil, errors.New("core: not a community object")
+	}
+	get := func(field string) []byte {
+		uri := doc.ChildText(field)
+		return attachments[uri]
+	}
+	schemaSrc := get("schema")
+	if len(schemaSrc) == 0 {
+		return nil, fmt.Errorf("core: community %q: schema attachment missing", doc.ChildText("name"))
+	}
+	spec := CommunitySpec{
+		Name:        doc.ChildText("name"),
+		Description: doc.ChildText("description"),
+		Keywords:    doc.ChildText("keywords"),
+		Category:    doc.ChildText("category"),
+		Security:    doc.ChildText("security"),
+		Protocol:    doc.ChildText("protocol"),
+		SchemaSrc:   string(schemaSrc),
+	}
+	defCreate, defSearch, defView := stylegen.DefaultSources()
+	if src := get("displaystyle"); len(src) > 0 && string(src) != defView {
+		spec.DisplayStyleSrc = string(src)
+	}
+	if src := get("createstyle"); len(src) > 0 && string(src) != defCreate {
+		spec.CreateStyleSrc = string(src)
+	}
+	if src := get("searchstyle"); len(src) > 0 && string(src) != defSearch {
+		spec.SearchStyleSrc = string(src)
+	}
+	// Optional custom indexing stylesheet travels under a conventional
+	// attachment name.
+	for uri, content := range attachments {
+		if strings.HasSuffix(uri, "/"+attachIndex) {
+			spec.IndexStyleSrc = string(content)
+		}
+	}
+	return NewCommunity(spec)
+}
+
+// Indexer builds the community's attribute extractor: the custom
+// indexing stylesheet when provided, else one generated from the
+// schema's searchable fields.
+func (c *Community) Indexer() (*stylegen.Indexer, error) {
+	if c.IndexStyleSrc != "" {
+		return stylegen.NewIndexerFromSource(c.IndexStyleSrc)
+	}
+	return stylegen.NewIndexer(c.Schema)
+}
+
+// ViewStylesheet returns the compiled display stylesheet (custom or
+// default).
+func (c *Community) ViewStylesheet() (*xslt.Stylesheet, error) {
+	if c.DisplayStyleSrc == "" {
+		return stylegen.Defaults().View, nil
+	}
+	return xslt.CompileString(c.DisplayStyleSrc)
+}
+
+// CreateFormHTML renders the community's create form using its
+// create stylesheet (custom or default) applied to its schema.
+func (c *Community) CreateFormHTML() (string, error) {
+	sheet := stylegen.Defaults().Create
+	if c.CreateStyleSrc != "" {
+		var err error
+		sheet, err = xslt.CompileString(c.CreateStyleSrc)
+		if err != nil {
+			return "", err
+		}
+	}
+	return sheet.Apply(c.Schema.Doc())
+}
+
+// SearchFormHTML renders the community's search form.
+func (c *Community) SearchFormHTML() (string, error) {
+	sheet := stylegen.Defaults().Search
+	if c.SearchStyleSrc != "" {
+		var err error
+		sheet, err = xslt.CompileString(c.SearchStyleSrc)
+		if err != nil {
+			return "", err
+		}
+	}
+	return sheet.Apply(c.Schema.Doc())
+}
+
+// String implements fmt.Stringer.
+func (c *Community) String() string {
+	return fmt.Sprintf("community %q (%s)", c.Name, c.ID)
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/p2p"
+	"repro/internal/query"
+	"repro/internal/xmldoc"
+)
+
+func TestServentStateRoundTrip(t *testing.T) {
+	f := newFixture(t, 2)
+	original := f.servents[0]
+	c, err := original.CreateCommunity(CommunitySpec{
+		Name:            "mp3",
+		Description:     "music",
+		SchemaSrc:       songSchema,
+		DisplayStyleSrc: `<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform" version="1.0"><xsl:template match="/"><x/></xsl:template></xsl:stylesheet>`,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	docID, err := original.Publish(c.ID, xmldoc.MustParse(`<song><title>T</title><artist>A</artist></song>`),
+		map[string][]byte{"up2p://x/file.bin": []byte("DATA")})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var state bytes.Buffer
+	if err := original.SaveState(&state); err != nil {
+		t.Fatalf("save state: %v", err)
+	}
+	var docs bytes.Buffer
+	if err := original.Store().Save(&docs); err != nil {
+		t.Fatalf("save store: %v", err)
+	}
+
+	// "Restart": a fresh servent on a new network identity restores
+	// both snapshots.
+	restored := f.servents[1]
+	if err := restored.LoadState(&state); err != nil {
+		t.Fatalf("load state: %v", err)
+	}
+	if err := restored.Store().Load(&docs); err != nil {
+		t.Fatalf("load store: %v", err)
+	}
+	if !restored.IsJoined(c.ID) {
+		t.Fatal("community not restored")
+	}
+	rc, _ := restored.Community(c.ID)
+	if rc.DisplayStyleSrc == "" {
+		t.Error("custom stylesheet lost")
+	}
+	// The restored store serves local searches and views.
+	local := restored.SearchLocal(c.ID, query.MustParse("(title=T)"), 0)
+	if len(local) != 1 || local[0].ID != docID {
+		t.Fatalf("restored search = %+v", local)
+	}
+	html, err := restored.View(docID)
+	if err != nil || !strings.Contains(html, "<x/>") {
+		t.Errorf("restored view = %q, %v", html, err)
+	}
+	// Attachments restored.
+	if data, ok := restored.Attachment("up2p://x/file.bin"); !ok || string(data) != "DATA" {
+		t.Errorf("attachment = %q, %v", data, ok)
+	}
+	// Root community still exactly once.
+	joined := restored.Joined()
+	if joined[0] != RootCommunityID || len(joined) != 2 {
+		t.Errorf("joined = %v", joined)
+	}
+}
+
+func TestLoadStateErrors(t *testing.T) {
+	f := newFixture(t, 1)
+	sv := f.servents[0]
+	if err := sv.LoadState(strings.NewReader("not json")); err == nil {
+		t.Error("bad json accepted")
+	}
+	if err := sv.LoadState(strings.NewReader(`{"version":99}`)); err == nil {
+		t.Error("future version accepted")
+	}
+	if err := sv.LoadState(strings.NewReader(`{"version":1,"communities":[{"Name":"x"}]}`)); err == nil {
+		t.Error("community without schema accepted")
+	}
+}
+
+func TestRestoredServentWorksOnNetwork(t *testing.T) {
+	// A servent restored from snapshots participates normally: its
+	// restored objects are re-publishable and searchable by peers.
+	f := newFixture(t, 2)
+	donor, fresh := f.servents[0], f.servents[1]
+	c, err := donor.CreateCommunity(CommunitySpec{Name: "m", SchemaSrc: songSchema})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := donor.Publish(c.ID, xmldoc.MustParse(`<song><title>T</title><artist>A</artist></song>`), nil); err != nil {
+		t.Fatal(err)
+	}
+	var state, docs bytes.Buffer
+	if err := donor.SaveState(&state); err != nil {
+		t.Fatal(err)
+	}
+	if err := donor.Store().Save(&docs); err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.LoadState(&state); err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.Store().Load(&docs); err != nil {
+		t.Fatal(err)
+	}
+	// Re-announce restored objects to the network.
+	for _, d := range fresh.SearchLocal(c.ID, query.MatchAll{}, 0) {
+		if err := fresh.Network().Publish(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rs, err := fresh.Search(c.ID, query.MustParse("(title=T)"), p2p.SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	providers := map[string]bool{}
+	for _, r := range rs {
+		providers[string(r.Provider)] = true
+	}
+	if !providers[string(fresh.PeerID())] {
+		t.Errorf("restored servent not providing: %v", providers)
+	}
+}

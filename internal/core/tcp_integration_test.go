@@ -1,0 +1,144 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/index"
+	"repro/internal/p2p"
+	"repro/internal/query"
+	"repro/internal/transport"
+)
+
+// TestCentralizedOverTCP runs the full U-P2P flow — create community,
+// discover, join, publish, search, retrieve with attachments — over
+// real TCP sockets, proving the in-memory simulator is not load-
+// bearing for protocol correctness.
+func TestCentralizedOverTCP(t *testing.T) {
+	serverNode, err := transport.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer serverNode.Close()
+	p2p.NewIndexServer(serverNode)
+
+	newPeer := func() (*core.Servent, func()) {
+		node, err := transport.ListenTCP("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := index.NewStore()
+		sv, err := core.NewServent(p2p.NewCentralizedClient(node, serverNode.ID(), st), st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sv, func() { _ = sv.Close() }
+	}
+	alice, closeAlice := newPeer()
+	defer closeAlice()
+	bob, closeBob := newPeer()
+	defer closeBob()
+
+	comm, err := alice.CreateCommunity(core.CommunitySpec{
+		Name:      "mp3",
+		Keywords:  "music",
+		SchemaSrc: corpus.SongSchemaSrc,
+	})
+	if err != nil {
+		t.Fatalf("create community: %v", err)
+	}
+	attURI := core.AttachmentURI("s1", "audio.mp3")
+	song := corpus.Songs(1, 1).Objects[0].Doc
+	docID, err := alice.Publish(comm.ID, song, map[string][]byte{attURI: []byte("AUDIO")})
+	if err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+
+	opts := p2p.SearchOptions{Timeout: 3 * time.Second}
+	found, err := bob.DiscoverCommunities(query.MustParse("(keywords~=music)"), opts)
+	if err != nil {
+		t.Fatalf("discover over TCP: %v", err)
+	}
+	if len(found) != 1 {
+		t.Fatalf("found = %+v", found)
+	}
+	if _, err := bob.JoinFromNetwork(found[0]); err != nil {
+		t.Fatalf("join over TCP: %v", err)
+	}
+	hits, err := bob.Search(comm.ID, query.MatchAll{}, opts)
+	if err != nil || len(hits) != 1 {
+		t.Fatalf("search = %v, %v", hits, err)
+	}
+	doc, err := bob.Retrieve(hits[0].DocID, hits[0].Provider)
+	if err != nil {
+		t.Fatalf("retrieve over TCP: %v", err)
+	}
+	if doc.ID != docID {
+		t.Errorf("doc = %s, want %s", doc.ID, docID)
+	}
+	data, ok := bob.Attachment(attURI)
+	if !ok || string(data) != "AUDIO" {
+		t.Errorf("attachment = %q, %v", data, ok)
+	}
+}
+
+// TestGnutellaOverTCP floods queries across a 3-node TCP overlay.
+func TestGnutellaOverTCP(t *testing.T) {
+	type peer struct {
+		sv   *core.Servent
+		node *p2p.GnutellaNode
+	}
+	var peers []peer
+	for i := 0; i < 3; i++ {
+		tn, err := transport.ListenTCP("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := index.NewStore()
+		node := p2p.NewGnutellaNode(tn, st)
+		sv, err := core.NewServent(node, st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		peers = append(peers, peer{sv, node})
+		defer sv.Close()
+	}
+	// Line topology: 0 - 1 - 2.
+	peers[0].node.AddNeighbor(peers[1].node.PeerID())
+	peers[1].node.AddNeighbor(peers[0].node.PeerID())
+	peers[1].node.AddNeighbor(peers[2].node.PeerID())
+	peers[2].node.AddNeighbor(peers[1].node.PeerID())
+
+	comm, err := peers[2].sv.CreateCommunity(core.CommunitySpec{
+		Name:      "patterns",
+		SchemaSrc: corpus.PatternSchemaSrc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := corpus.DesignPatterns(1, 1).Objects[0].Doc
+	if _, err := peers[2].sv.Publish(comm.ID, obj, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	opts := p2p.SearchOptions{TTL: 4, Timeout: 3 * time.Second}
+	found, err := peers[0].sv.DiscoverCommunities(query.MustParse("(name=patterns)"), opts)
+	if err != nil {
+		t.Fatalf("flood discover over TCP: %v", err)
+	}
+	if len(found) != 1 {
+		t.Fatalf("found = %+v", found)
+	}
+	if found[0].Hops != 2 {
+		t.Errorf("hops = %d, want 2 (line topology)", found[0].Hops)
+	}
+	if _, err := peers[0].sv.JoinFromNetwork(found[0]); err != nil {
+		t.Fatalf("join over TCP flood: %v", err)
+	}
+	hits, err := peers[0].sv.Search(comm.ID, query.MustParse("(name=*)"), opts)
+	if err != nil || len(hits) != 1 {
+		t.Fatalf("search = %v, %v", hits, err)
+	}
+}

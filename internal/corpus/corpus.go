@@ -1,0 +1,85 @@
+// Package corpus generates deterministic, schema-valid object corpora
+// for the communities the paper motivates (§I): design patterns (the
+// §V case study), MP3 metadata (the Napster lineage), CML-style
+// chemical molecules, and biodiversity species descriptions.
+//
+// The original Carleton Pattern Repository is long gone; these
+// generators substitute synthetic corpora with controlled attribute
+// distributions so the search-recall experiments (E2, E7) measure the
+// same phenomenon the paper argues about: metadata queries finding
+// objects that filename matching cannot.
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/xmldoc"
+)
+
+// Object is one generated corpus entry.
+type Object struct {
+	// Doc is the schema-valid XML object.
+	Doc *xmldoc.Node
+	// Filename is the plausible filename a classic file-sharing system
+	// would expose for this object — the baseline search target of E2.
+	Filename string
+}
+
+// Corpus couples a community schema with its generated objects.
+type Corpus struct {
+	// Name labels the corpus ("designpatterns", "mp3", ...).
+	Name string
+	// SchemaSrc is the community's XML Schema text.
+	SchemaSrc string
+	// Objects are the generated entries.
+	Objects []Object
+}
+
+// pick returns a deterministic pseudo-random element of choices.
+func pick(r *rand.Rand, choices []string) string {
+	return choices[r.Intn(len(choices))]
+}
+
+// pickSome returns k distinct elements (k clamped to len).
+func pickSome(r *rand.Rand, choices []string, k int) []string {
+	if k > len(choices) {
+		k = len(choices)
+	}
+	perm := r.Perm(len(choices))
+	out := make([]string, 0, k)
+	for _, i := range perm[:k] {
+		out = append(out, choices[i])
+	}
+	return out
+}
+
+// el builds an element with text content.
+func el(name, text string) *xmldoc.Node {
+	n := xmldoc.NewElement(name)
+	if text != "" {
+		n.AppendChild(xmldoc.NewText(text))
+	}
+	return n
+}
+
+// ByName returns the named generator's corpus.
+func ByName(name string, n int, seed int64) (Corpus, error) {
+	switch name {
+	case "designpatterns":
+		return DesignPatterns(n, seed), nil
+	case "mp3":
+		return Songs(n, seed), nil
+	case "cml":
+		return Molecules(n, seed), nil
+	case "species":
+		return Species(n, seed), nil
+	default:
+		return Corpus{}, fmt.Errorf("corpus: unknown corpus %q", name)
+	}
+}
+
+// Names lists the available corpora.
+func Names() []string {
+	return []string{"designpatterns", "mp3", "cml", "species"}
+}

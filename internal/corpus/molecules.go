@@ -1,0 +1,109 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// MoleculeSchemaSrc is the CML-inspired molecule community schema
+// (the paper cites Chemical Markup Language as an existing base of
+// XML descriptions chemists could share, §I/§III).
+const MoleculeSchemaSrc = `<?xml version="1.0"?>
+<schema xmlns="http://www.w3.org/2001/XMLSchema" xmlns:up2p="http://up2p.carleton.ca/ns/community">
+ <element name="molecule">
+  <complexType>
+   <sequence>
+    <element name="title" type="xsd:string" up2p:searchable="true"/>
+    <element name="formula" type="xsd:string" up2p:searchable="true"/>
+    <element name="molarMass" type="xsd:decimal" up2p:searchable="true"/>
+    <element name="casNumber" type="xsd:string" minOccurs="0" up2p:searchable="true"/>
+    <element name="category" type="xsd:string" minOccurs="0" up2p:searchable="true"/>
+    <element name="atoms">
+     <complexType>
+      <sequence>
+       <element name="atom" minOccurs="0" maxOccurs="unbounded">
+        <complexType>
+         <sequence>
+          <element name="elementType" type="xsd:string"/>
+          <element name="count" type="xsd:integer"/>
+         </sequence>
+        </complexType>
+       </element>
+      </sequence>
+     </complexType>
+    </element>
+   </sequence>
+  </complexType>
+ </element>
+</schema>`
+
+// baseMolecule is a real compound used to seed the generator.
+type baseMolecule struct {
+	title    string
+	formula  string
+	mass     float64
+	cas      string
+	category string
+	atoms    map[string]int
+}
+
+var moleculeCatalog = []baseMolecule{
+	{"Water", "H2O", 18.015, "7732-18-5", "inorganic", map[string]int{"H": 2, "O": 1}},
+	{"Methane", "CH4", 16.043, "74-82-8", "alkane", map[string]int{"C": 1, "H": 4}},
+	{"Ethanol", "C2H6O", 46.069, "64-17-5", "alcohol", map[string]int{"C": 2, "H": 6, "O": 1}},
+	{"Benzene", "C6H6", 78.114, "71-43-2", "aromatic", map[string]int{"C": 6, "H": 6}},
+	{"Glucose", "C6H12O6", 180.156, "50-99-7", "carbohydrate", map[string]int{"C": 6, "H": 12, "O": 6}},
+	{"Caffeine", "C8H10N4O2", 194.19, "58-08-2", "alkaloid", map[string]int{"C": 8, "H": 10, "N": 4, "O": 2}},
+	{"Aspirin", "C9H8O4", 180.158, "50-78-2", "pharmaceutical", map[string]int{"C": 9, "H": 8, "O": 4}},
+	{"Ammonia", "NH3", 17.031, "7664-41-7", "inorganic", map[string]int{"N": 1, "H": 3}},
+	{"Acetone", "C3H6O", 58.08, "67-64-1", "ketone", map[string]int{"C": 3, "H": 6, "O": 1}},
+	{"Toluene", "C7H8", 92.141, "108-88-3", "aromatic", map[string]int{"C": 7, "H": 8}},
+}
+
+// Molecules generates n molecule objects: the real catalogue first,
+// then synthetic homologues (chain-extended variants) with coherent
+// formula/mass/atom counts.
+func Molecules(n int, seed int64) Corpus {
+	r := rand.New(rand.NewSource(seed))
+	objects := make([]Object, 0, n)
+	for i := 0; i < n; i++ {
+		base := moleculeCatalog[i%len(moleculeCatalog)]
+		m := base
+		ext := i / len(moleculeCatalog)
+		atoms := make(map[string]int, len(base.atoms))
+		for k, v := range base.atoms {
+			atoms[k] = v
+		}
+		if ext > 0 {
+			// Homologue: add CH2 groups.
+			atoms["C"] += ext
+			atoms["H"] += 2 * ext
+			m.title = fmt.Sprintf("%s homologue +%dCH2", base.title, ext)
+			m.formula = fmt.Sprintf("C%dH%d(base %s)", atoms["C"], atoms["H"], base.formula)
+			m.mass = base.mass + float64(ext)*14.027
+			m.cas = fmt.Sprintf("%s-x%d", base.cas, ext)
+		}
+		doc := el("molecule", "")
+		doc.AppendChild(el("title", m.title))
+		doc.AppendChild(el("formula", m.formula))
+		doc.AppendChild(el("molarMass", fmt.Sprintf("%.3f", m.mass)))
+		doc.AppendChild(el("casNumber", m.cas))
+		doc.AppendChild(el("category", m.category))
+		atomsEl := el("atoms", "")
+		for _, sym := range []string{"C", "H", "N", "O"} {
+			if c, ok := atoms[sym]; ok {
+				a := el("atom", "")
+				a.AppendChild(el("elementType", sym))
+				a.AppendChild(el("count", fmt.Sprintf("%d", c)))
+				atomsEl.AppendChild(a)
+			}
+		}
+		doc.AppendChild(atomsEl)
+		_ = r
+		objects = append(objects, Object{
+			Doc:      doc,
+			Filename: fmt.Sprintf("mol_%04d.cml", i),
+		})
+	}
+	return Corpus{Name: "cml", SchemaSrc: MoleculeSchemaSrc, Objects: objects}
+}

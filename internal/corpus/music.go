@@ -1,0 +1,78 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// SongSchemaSrc is the MP3 community schema: the paper's canonical
+// example ("an MP3-sharing community shares MP3 objects", §I) with
+// the genre/artist attributes its intro proposes for sub-communities.
+const SongSchemaSrc = `<?xml version="1.0"?>
+<schema xmlns="http://www.w3.org/2001/XMLSchema" xmlns:up2p="http://up2p.carleton.ca/ns/community">
+ <element name="song">
+  <complexType>
+   <sequence>
+    <element name="title" type="xsd:string" up2p:searchable="true"/>
+    <element name="artist" type="xsd:string" up2p:searchable="true"/>
+    <element name="album" type="xsd:string" minOccurs="0" up2p:searchable="true"/>
+    <element name="genre" type="genreType" up2p:searchable="true"/>
+    <element name="year" type="xsd:integer" minOccurs="0" up2p:searchable="true"/>
+    <element name="bitrate" type="xsd:integer" minOccurs="0"/>
+    <element name="audio" type="xsd:anyURI" minOccurs="0" up2p:attachment="true"/>
+   </sequence>
+  </complexType>
+ </element>
+ <simpleType name="genreType">
+  <restriction base="string">
+   <enumeration value="jazz"/>
+   <enumeration value="rock"/>
+   <enumeration value="classical"/>
+   <enumeration value="electronic"/>
+   <enumeration value="folk"/>
+  </restriction>
+ </simpleType>
+</schema>`
+
+var (
+	artists    = []string{"Miles Davis", "John Coltrane", "Bill Evans", "Thelonious Monk", "Charles Mingus", "Art Blakey", "Sonny Rollins", "Herbie Hancock", "Led Zeppelin", "Pink Floyd", "King Crimson", "Brian Eno", "Aphex Twin", "Boards of Canada", "Nick Drake", "Joni Mitchell", "Glenn Gould", "Arvo Part"}
+	adjectives = []string{"Blue", "Giant", "Quiet", "Electric", "Silent", "Golden", "Broken", "Distant", "Hidden", "Burning"}
+	nouns      = []string{"Steps", "Garden", "Mirror", "River", "Signal", "Window", "Harbor", "Machine", "Forest", "Circuit"}
+	genres     = []string{"jazz", "rock", "classical", "electronic", "folk"}
+)
+
+// Songs generates n song objects with artist/genre skew: a few artists
+// dominate (Zipf-ish), matching real library distributions so
+// sub-community experiments (MP3 trading focused on one artist, §I)
+// have something to focus on.
+func Songs(n int, seed int64) Corpus {
+	r := rand.New(rand.NewSource(seed))
+	objects := make([]Object, 0, n)
+	for i := 0; i < n; i++ {
+		// Zipf-ish skew: earlier artists more likely.
+		ai := int(float64(len(artists)) * r.Float64() * r.Float64())
+		artist := artists[ai]
+		title := fmt.Sprintf("%s %s", pick(r, adjectives), pick(r, nouns))
+		if i%7 == 0 {
+			title = fmt.Sprintf("%s No. %d", title, r.Intn(12)+1)
+		}
+		album := fmt.Sprintf("The %s %s", pick(r, adjectives), pick(r, nouns))
+		genre := genres[ai%len(genres)]
+		year := 1950 + r.Intn(52)
+
+		doc := el("song", "")
+		doc.AppendChild(el("title", title))
+		doc.AppendChild(el("artist", artist))
+		doc.AppendChild(el("album", album))
+		doc.AppendChild(el("genre", genre))
+		doc.AppendChild(el("year", fmt.Sprintf("%d", year)))
+		doc.AppendChild(el("bitrate", pick(r, []string{"128", "192", "256", "320"})))
+
+		// Classic file-sharing filename: artist - title, lossy about
+		// album/genre/year.
+		filename := strings.ToLower(strings.ReplaceAll(artist+" - "+title, " ", "_")) + ".mp3"
+		objects = append(objects, Object{Doc: doc, Filename: filename})
+	}
+	return Corpus{Name: "mp3", SchemaSrc: SongSchemaSrc, Objects: objects}
+}

@@ -1,0 +1,129 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// PatternSchemaSrc is the design-pattern community schema of the §V
+// case study, derived (as the paper did) from the Carleton Pattern
+// Repository's DTD: name, classification, intent, motivation,
+// applicability, participants, collaborations, consequences, known
+// uses — with the searchable subset marked, since "a design patterns
+// community requires the ability to search not just name but purpose,
+// keywords, applications, etc." (§II).
+const PatternSchemaSrc = `<?xml version="1.0"?>
+<schema xmlns="http://www.w3.org/2001/XMLSchema" xmlns:up2p="http://up2p.carleton.ca/ns/community">
+ <element name="pattern">
+  <complexType>
+   <sequence>
+    <element name="name" type="xsd:string" up2p:searchable="true"/>
+    <element name="classification" type="classificationType" up2p:searchable="true"/>
+    <element name="intent" type="xsd:string" up2p:searchable="true"/>
+    <element name="keywords" type="xsd:string" minOccurs="0" maxOccurs="unbounded" up2p:searchable="true"/>
+    <element name="motivation" type="xsd:string" minOccurs="0"/>
+    <element name="applicability" type="xsd:string" minOccurs="0" up2p:searchable="true"/>
+    <element name="structure" type="xsd:string" minOccurs="0"/>
+    <element name="participants" type="xsd:string" minOccurs="0" maxOccurs="unbounded" up2p:searchable="true"/>
+    <element name="collaborations" type="xsd:string" minOccurs="0"/>
+    <element name="consequences" type="xsd:string" minOccurs="0"/>
+    <element name="knownUses" type="xsd:string" minOccurs="0" maxOccurs="unbounded"/>
+    <element name="sourceCode" type="xsd:anyURI" minOccurs="0" up2p:attachment="true"/>
+   </sequence>
+  </complexType>
+ </element>
+ <simpleType name="classificationType">
+  <restriction base="string">
+   <enumeration value="creational"/>
+   <enumeration value="structural"/>
+   <enumeration value="behavioral"/>
+  </restriction>
+ </simpleType>
+</schema>`
+
+// gofPattern is the ground-truth description of one GoF pattern.
+type gofPattern struct {
+	name           string
+	classification string
+	intent         string
+	keywords       []string
+	applicability  string
+	participants   []string
+}
+
+// gofCatalog is the full GoF 23, with intents close to the book's.
+var gofCatalog = []gofPattern{
+	{"Abstract Factory", "creational", "Provide an interface for creating families of related or dependent objects without specifying their concrete classes", []string{"factory", "family", "creation"}, "a system should be independent of how its products are created", []string{"AbstractFactory", "ConcreteFactory", "AbstractProduct"}},
+	{"Builder", "creational", "Separate the construction of a complex object from its representation so that the same construction process can create different representations", []string{"construction", "stepwise"}, "the algorithm for creating a complex object should be independent of its parts", []string{"Builder", "ConcreteBuilder", "Director"}},
+	{"Factory Method", "creational", "Define an interface for creating an object but let subclasses decide which class to instantiate", []string{"factory", "virtual constructor"}, "a class cannot anticipate the class of objects it must create", []string{"Product", "Creator", "ConcreteCreator"}},
+	{"Prototype", "creational", "Specify the kinds of objects to create using a prototypical instance and create new objects by copying this prototype", []string{"clone", "copy"}, "classes to instantiate are specified at run-time", []string{"Prototype", "ConcretePrototype", "Client"}},
+	{"Singleton", "creational", "Ensure a class only has one instance and provide a global point of access to it", []string{"single", "global", "instance"}, "there must be exactly one instance of a class", []string{"Singleton"}},
+	{"Adapter", "structural", "Convert the interface of a class into another interface clients expect", []string{"wrapper", "interface", "conversion"}, "you want to use an existing class and its interface does not match", []string{"Target", "Adapter", "Adaptee"}},
+	{"Bridge", "structural", "Decouple an abstraction from its implementation so that the two can vary independently", []string{"handle", "body", "decouple"}, "you want to avoid a permanent binding between abstraction and implementation", []string{"Abstraction", "Implementor", "RefinedAbstraction"}},
+	{"Composite", "structural", "Compose objects into tree structures to represent part-whole hierarchies", []string{"tree", "hierarchy", "recursion"}, "you want to represent part-whole hierarchies of objects", []string{"Component", "Leaf", "Composite"}},
+	{"Decorator", "structural", "Attach additional responsibilities to an object dynamically", []string{"wrapper", "extension", "dynamic"}, "to add responsibilities to individual objects without affecting others", []string{"Component", "ConcreteComponent", "Decorator"}},
+	{"Facade", "structural", "Provide a unified interface to a set of interfaces in a subsystem", []string{"simplify", "subsystem", "unified"}, "you want to provide a simple interface to a complex subsystem", []string{"Facade", "Subsystem"}},
+	{"Flyweight", "structural", "Use sharing to support large numbers of fine-grained objects efficiently", []string{"sharing", "memory", "intrinsic"}, "an application uses a large number of objects", []string{"Flyweight", "ConcreteFlyweight", "FlyweightFactory"}},
+	{"Proxy", "structural", "Provide a surrogate or placeholder for another object to control access to it", []string{"surrogate", "placeholder", "access"}, "you need a more versatile reference to an object than a simple pointer", []string{"Proxy", "Subject", "RealSubject"}},
+	{"Chain of Responsibility", "behavioral", "Avoid coupling the sender of a request to its receiver by giving more than one object a chance to handle the request", []string{"chain", "handler", "request"}, "more than one object may handle a request", []string{"Handler", "ConcreteHandler", "Client"}},
+	{"Command", "behavioral", "Encapsulate a request as an object thereby letting you parameterize clients with different requests", []string{"action", "transaction", "undo"}, "you want to parameterize objects by an action to perform", []string{"Command", "ConcreteCommand", "Invoker", "Receiver"}},
+	{"Interpreter", "behavioral", "Given a language define a representation for its grammar along with an interpreter that uses the representation", []string{"grammar", "language", "expression"}, "there is a language to interpret and its grammar is simple", []string{"AbstractExpression", "TerminalExpression", "Context"}},
+	{"Iterator", "behavioral", "Provide a way to access the elements of an aggregate object sequentially without exposing its underlying representation", []string{"cursor", "traversal", "collection"}, "to access an aggregate object's contents without exposing its representation", []string{"Iterator", "ConcreteIterator", "Aggregate"}},
+	{"Mediator", "behavioral", "Define an object that encapsulates how a set of objects interact", []string{"coupling", "coordination", "hub"}, "a set of objects communicate in well-defined but complex ways", []string{"Mediator", "ConcreteMediator", "Colleague"}},
+	{"Memento", "behavioral", "Without violating encapsulation capture and externalize an object's internal state so that the object can be restored to this state later", []string{"snapshot", "undo", "state"}, "a snapshot of an object's state must be saved", []string{"Memento", "Originator", "Caretaker"}},
+	{"Observer", "behavioral", "Define a one-to-many dependency between objects so that when one object changes state all its dependents are notified and updated automatically", []string{"notification", "publish-subscribe", "dependency"}, "a change to one object requires changing others and you don't know how many", []string{"Subject", "Observer", "ConcreteSubject", "ConcreteObserver"}},
+	{"State", "behavioral", "Allow an object to alter its behavior when its internal state changes", []string{"state machine", "behavior", "transition"}, "an object's behavior depends on its state", []string{"Context", "State", "ConcreteState"}},
+	{"Strategy", "behavioral", "Define a family of algorithms encapsulate each one and make them interchangeable", []string{"algorithm", "policy", "interchangeable"}, "many related classes differ only in their behavior", []string{"Strategy", "ConcreteStrategy", "Context"}},
+	{"Template Method", "behavioral", "Define the skeleton of an algorithm in an operation deferring some steps to subclasses", []string{"skeleton", "hook", "inheritance"}, "to implement the invariant parts of an algorithm once", []string{"AbstractClass", "ConcreteClass"}},
+	{"Visitor", "behavioral", "Represent an operation to be performed on the elements of an object structure", []string{"operation", "double dispatch", "traversal"}, "an object structure contains many classes with differing interfaces", []string{"Visitor", "ConcreteVisitor", "Element"}},
+}
+
+// DesignPatterns generates n pattern objects: the GoF 23 first, then
+// deterministic synthetic variants (idioms, domain adaptations) so
+// corpora can grow to thousands while keeping realistic attribute
+// distributions. Filenames deliberately contain only the pattern name
+// — the information loss the paper blames filename search for.
+func DesignPatterns(n int, seed int64) Corpus {
+	r := rand.New(rand.NewSource(seed))
+	domains := []string{"GUI", "networking", "persistence", "compiler", "game", "telephony", "workflow", "simulation"}
+	langs := []string{"Java", "Cpp", "Smalltalk", "Eiffel", "Python"}
+	objects := make([]Object, 0, n)
+	for i := 0; i < n; i++ {
+		base := gofCatalog[i%len(gofCatalog)]
+		p := base
+		variant := i / len(gofCatalog)
+		if variant > 0 {
+			domain := pick(r, domains)
+			lang := pick(r, langs)
+			p.name = fmt.Sprintf("%s for %s (%s idiom %d)", base.name, domain, lang, variant)
+			p.intent = base.intent + " adapted to " + domain + " systems"
+			p.keywords = append(append([]string{}, base.keywords...), strings.ToLower(domain), strings.ToLower(lang))
+		}
+		doc := el("pattern", "")
+		doc.AppendChild(el("name", p.name))
+		doc.AppendChild(el("classification", p.classification))
+		doc.AppendChild(el("intent", p.intent))
+		for _, k := range p.keywords {
+			doc.AppendChild(el("keywords", k))
+		}
+		doc.AppendChild(el("motivation", "Consider a "+pick(r, domains)+" application that needs "+strings.ToLower(base.name)+" behaviour."))
+		doc.AppendChild(el("applicability", p.applicability))
+		doc.AppendChild(el("structure", "UML class diagram omitted"))
+		for _, part := range p.participants {
+			doc.AppendChild(el("participants", part))
+		}
+		doc.AppendChild(el("collaborations", "Participants collaborate as described in the GoF catalogue."))
+		doc.AppendChild(el("consequences", "Trade-offs: "+pick(r, []string{"flexibility vs complexity", "decoupling vs indirection", "reuse vs performance"})))
+		doc.AppendChild(el("knownUses", pick(r, []string{"ET++", "InterViews", "MacApp", "JDK", "Unidraw"})))
+		filename := strings.ReplaceAll(strings.ToLower(base.name), " ", "_")
+		if variant > 0 {
+			filename = fmt.Sprintf("%s_v%d", filename, variant)
+		}
+		objects = append(objects, Object{Doc: doc, Filename: filename + ".xml"})
+	}
+	return Corpus{Name: "designpatterns", SchemaSrc: PatternSchemaSrc, Objects: objects}
+}
+
+// GofCount is the number of base catalogue patterns.
+const GofCount = 23

@@ -1,0 +1,92 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// SpeciesSchemaSrc is the biodiversity community schema (the paper
+// cites electronic field guides as a motivating existing base of
+// species descriptions, §I/§III).
+const SpeciesSchemaSrc = `<?xml version="1.0"?>
+<schema xmlns="http://www.w3.org/2001/XMLSchema" xmlns:up2p="http://up2p.carleton.ca/ns/community">
+ <element name="species">
+  <complexType>
+   <sequence>
+    <element name="scientificName" type="xsd:string" up2p:searchable="true"/>
+    <element name="commonName" type="xsd:string" up2p:searchable="true"/>
+    <element name="kingdom" type="xsd:string" up2p:searchable="true"/>
+    <element name="family" type="xsd:string" up2p:searchable="true"/>
+    <element name="habitat" type="xsd:string" minOccurs="0" maxOccurs="unbounded" up2p:searchable="true"/>
+    <element name="conservationStatus" type="statusType" up2p:searchable="true"/>
+    <element name="description" type="xsd:string" minOccurs="0"/>
+   </sequence>
+  </complexType>
+ </element>
+ <simpleType name="statusType">
+  <restriction base="string">
+   <enumeration value="least-concern"/>
+   <enumeration value="near-threatened"/>
+   <enumeration value="vulnerable"/>
+   <enumeration value="endangered"/>
+   <enumeration value="critically-endangered"/>
+  </restriction>
+ </simpleType>
+</schema>`
+
+type baseSpecies struct {
+	scientific string
+	common     string
+	kingdom    string
+	family     string
+	habitats   []string
+	status     string
+}
+
+var speciesCatalog = []baseSpecies{
+	{"Panthera tigris", "Tiger", "Animalia", "Felidae", []string{"tropical forest", "grassland"}, "endangered"},
+	{"Ursus arctos", "Brown Bear", "Animalia", "Ursidae", []string{"boreal forest", "tundra"}, "least-concern"},
+	{"Gorilla beringei", "Mountain Gorilla", "Animalia", "Hominidae", []string{"montane forest"}, "critically-endangered"},
+	{"Haliaeetus leucocephalus", "Bald Eagle", "Animalia", "Accipitridae", []string{"wetland", "coast"}, "least-concern"},
+	{"Dermochelys coriacea", "Leatherback Sea Turtle", "Animalia", "Dermochelyidae", []string{"open ocean", "beach"}, "vulnerable"},
+	{"Sequoia sempervirens", "Coast Redwood", "Plantae", "Cupressaceae", []string{"temperate rainforest"}, "endangered"},
+	{"Quercus robur", "English Oak", "Plantae", "Fagaceae", []string{"deciduous forest"}, "least-concern"},
+	{"Amanita muscaria", "Fly Agaric", "Fungi", "Amanitaceae", []string{"boreal forest"}, "least-concern"},
+	{"Monodon monoceros", "Narwhal", "Animalia", "Monodontidae", []string{"arctic ocean"}, "near-threatened"},
+	{"Strigops habroptilus", "Kakapo", "Animalia", "Strigopidae", []string{"island forest"}, "critically-endangered"},
+}
+
+// Species generates n species descriptions: real entries first, then
+// synthetic congeners (same genus, invented epithets).
+func Species(n int, seed int64) Corpus {
+	r := rand.New(rand.NewSource(seed))
+	epithets := []string{"borealis", "australis", "minor", "major", "occidentalis", "orientalis", "montanus", "sylvestris"}
+	objects := make([]Object, 0, n)
+	for i := 0; i < n; i++ {
+		base := speciesCatalog[i%len(speciesCatalog)]
+		sp := base
+		variant := i / len(speciesCatalog)
+		if variant > 0 {
+			genus := strings.Fields(base.scientific)[0]
+			epithet := epithets[(variant-1)%len(epithets)]
+			sp.scientific = fmt.Sprintf("%s %s", genus, epithet)
+			sp.common = fmt.Sprintf("%s (%s form)", base.common, epithet)
+		}
+		doc := el("species", "")
+		doc.AppendChild(el("scientificName", sp.scientific))
+		doc.AppendChild(el("commonName", sp.common))
+		doc.AppendChild(el("kingdom", sp.kingdom))
+		doc.AppendChild(el("family", sp.family))
+		for _, h := range pickSome(r, sp.habitats, 1+r.Intn(len(sp.habitats))) {
+			doc.AppendChild(el("habitat", h))
+		}
+		doc.AppendChild(el("conservationStatus", sp.status))
+		doc.AppendChild(el("description", fmt.Sprintf("%s is a member of family %s recorded in %s.", sp.scientific, sp.family, sp.habitats[0])))
+		objects = append(objects, Object{
+			Doc:      doc,
+			Filename: strings.ToLower(strings.ReplaceAll(sp.scientific, " ", "_")) + ".xml",
+		})
+	}
+	return Corpus{Name: "species", SchemaSrc: SpeciesSchemaSrc, Objects: objects}
+}

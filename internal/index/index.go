@@ -1,0 +1,328 @@
+// Package index implements U-P2P's local metadata store: the database
+// role Magenta played in the paper's prototype. Each servent keeps one
+// Store holding the XML objects it shares or has downloaded, plus an
+// inverted index over the *indexed attributes* extracted from each
+// object by the community's indexing transform (§IV.C.2: only fields
+// marked searchable enter the index, keeping "small portions of
+// content ... in the search engine instead of the entire XML object").
+//
+// Searches evaluate query.Filter expressions; equality assertions are
+// accelerated through the inverted index, everything else scans the
+// community's documents.
+package index
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/query"
+)
+
+// DocID identifies a stored document. U-P2P derives it from a content
+// hash so replicas of the same object share an ID across peers.
+type DocID string
+
+// Document is one shared object plus its indexed metadata.
+type Document struct {
+	ID          DocID
+	CommunityID string
+	// Title is a human-readable label (typically the first indexed
+	// attribute value).
+	Title string
+	// XML is the complete serialized object; returned on retrieval,
+	// never scanned during search.
+	XML string
+	// Attrs are the indexed attributes extracted by the community's
+	// indexing stylesheet.
+	Attrs query.Attrs
+	// Attachments lists attachment URIs flagged in the object
+	// (§IV.C.1); downloaded only when the object is retrieved.
+	Attachments []string
+}
+
+// clone returns a defensive copy so callers cannot mutate store state.
+func (d *Document) clone() *Document {
+	cp := *d
+	cp.Attrs = d.Attrs.Clone()
+	cp.Attachments = append([]string(nil), d.Attachments...)
+	return &cp
+}
+
+// Common errors.
+var (
+	ErrNotFound = errors.New("index: document not found")
+	ErrNoID     = errors.New("index: document has no ID")
+)
+
+// Store is a thread-safe metadata store with an inverted index.
+type Store struct {
+	mu sync.RWMutex
+	// docs maps ID to the canonical copy.
+	docs map[DocID]*Document
+	// byCommunity groups documents for community-scoped search.
+	byCommunity map[string]map[DocID]struct{}
+	// inverted maps attr name -> normalized token -> posting set.
+	inverted map[string]map[string]map[DocID]struct{}
+	// postings counts index entries, for the E4 index-size experiment.
+	postings int
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{
+		docs:        make(map[DocID]*Document),
+		byCommunity: make(map[string]map[DocID]struct{}),
+		inverted:    make(map[string]map[string]map[DocID]struct{}),
+	}
+}
+
+// Put inserts or replaces a document. The document is copied; the
+// caller keeps ownership of its argument.
+func (s *Store) Put(doc *Document) error {
+	if doc == nil || doc.ID == "" {
+		return ErrNoID
+	}
+	cp := doc.clone()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.docs[cp.ID]; ok {
+		s.unindexLocked(old)
+	}
+	s.docs[cp.ID] = cp
+	comm := s.byCommunity[cp.CommunityID]
+	if comm == nil {
+		comm = make(map[DocID]struct{})
+		s.byCommunity[cp.CommunityID] = comm
+	}
+	comm[cp.ID] = struct{}{}
+	s.indexLocked(cp)
+	return nil
+}
+
+// Get returns a copy of the document.
+func (s *Store) Get(id DocID) (*Document, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.docs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return d.clone(), nil
+}
+
+// Has reports whether the document is stored.
+func (s *Store) Has(id DocID) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.docs[id]
+	return ok
+}
+
+// Delete removes a document, reporting whether it existed.
+func (s *Store) Delete(id DocID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.docs[id]
+	if !ok {
+		return false
+	}
+	s.unindexLocked(d)
+	delete(s.docs, id)
+	if comm := s.byCommunity[d.CommunityID]; comm != nil {
+		delete(comm, id)
+		if len(comm) == 0 {
+			delete(s.byCommunity, d.CommunityID)
+		}
+	}
+	return true
+}
+
+// Len returns the number of stored documents.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.docs)
+}
+
+// CommunityLen returns the number of documents in one community.
+func (s *Store) CommunityLen(communityID string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.byCommunity[communityID])
+}
+
+// Communities returns the IDs of communities with stored documents,
+// sorted.
+func (s *Store) Communities() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.byCommunity))
+	for c := range s.byCommunity {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Postings returns the number of inverted-index entries: the measured
+// "index size" of experiment E4.
+func (s *Store) Postings() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.postings
+}
+
+// Search returns documents in the community whose indexed attributes
+// satisfy the filter, sorted by ID for determinism. limit <= 0 means
+// unlimited. An empty communityID searches all communities.
+func (s *Store) Search(communityID string, f query.Filter, limit int) []*Document {
+	if f == nil {
+		f = query.MatchAll{}
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	candidates := s.candidatesLocked(communityID, f)
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i].ID < candidates[j].ID })
+	var out []*Document
+	for _, d := range candidates {
+		if communityID != "" && d.CommunityID != communityID {
+			continue
+		}
+		if !f.Match(d.Attrs) {
+			continue
+		}
+		out = append(out, d.clone())
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out
+}
+
+// candidatesLocked narrows the scan set using the inverted index when
+// the filter's top level is (or conjoins) an exact-match assertion.
+func (s *Store) candidatesLocked(communityID string, f query.Filter) []*Document {
+	if ids := s.indexedCandidatesLocked(f); ids != nil {
+		out := make([]*Document, 0, len(ids))
+		for id := range ids {
+			if d, ok := s.docs[id]; ok {
+				out = append(out, d)
+			}
+		}
+		return out
+	}
+	// Full community scan.
+	var out []*Document
+	if communityID != "" {
+		for id := range s.byCommunity[communityID] {
+			out = append(out, s.docs[id])
+		}
+		return out
+	}
+	for _, d := range s.docs {
+		out = append(out, d)
+	}
+	return out
+}
+
+// indexedCandidatesLocked returns a candidate ID set when the filter
+// permits index acceleration, or nil to force a scan. Sound but not
+// complete: it may return a superset of matches, never a subset.
+func (s *Store) indexedCandidatesLocked(f query.Filter) map[DocID]struct{} {
+	switch t := f.(type) {
+	case *query.Assertion:
+		if t.Op != query.OpEq || strings.ContainsRune(t.Value, '*') {
+			return nil
+		}
+		field := s.inverted[t.Attr]
+		if field == nil {
+			return map[DocID]struct{}{}
+		}
+		// The whole normalized value is indexed as one token alongside
+		// its words, so exact matches hit directly.
+		return field[normalize(t.Value)]
+	case *query.And:
+		// Any one accelerable conjunct suffices (superset property).
+		for _, sub := range t.Subs {
+			if ids := s.indexedCandidatesLocked(sub); ids != nil {
+				return ids
+			}
+		}
+		return nil
+	default:
+		return nil
+	}
+}
+
+func (s *Store) indexLocked(d *Document) {
+	for attr, vals := range d.Attrs {
+		field := s.inverted[attr]
+		if field == nil {
+			field = make(map[string]map[DocID]struct{})
+			s.inverted[attr] = field
+		}
+		for _, v := range vals {
+			for _, tok := range indexTokens(v) {
+				set := field[tok]
+				if set == nil {
+					set = make(map[DocID]struct{})
+					field[tok] = set
+				}
+				if _, dup := set[d.ID]; !dup {
+					set[d.ID] = struct{}{}
+					s.postings++
+				}
+			}
+		}
+	}
+}
+
+func (s *Store) unindexLocked(d *Document) {
+	for attr, vals := range d.Attrs {
+		field := s.inverted[attr]
+		if field == nil {
+			continue
+		}
+		for _, v := range vals {
+			for _, tok := range indexTokens(v) {
+				if set := field[tok]; set != nil {
+					if _, ok := set[d.ID]; ok {
+						delete(set, d.ID)
+						s.postings--
+					}
+					if len(set) == 0 {
+						delete(field, tok)
+					}
+				}
+			}
+		}
+		if len(field) == 0 {
+			delete(s.inverted, attr)
+		}
+	}
+}
+
+// indexTokens yields the normalized full value plus its words, so both
+// exact-value lookups and word queries hit the index.
+func indexTokens(v string) []string {
+	full := normalize(v)
+	if full == "" {
+		return nil
+	}
+	toks := []string{full}
+	for _, w := range strings.FieldsFunc(full, func(r rune) bool {
+		return !('a' <= r && r <= 'z' || '0' <= r && r <= '9')
+	}) {
+		if w != full {
+			toks = append(toks, w)
+		}
+	}
+	return toks
+}
+
+func normalize(v string) string {
+	return strings.ToLower(strings.TrimSpace(v))
+}

@@ -1,0 +1,60 @@
+package index
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// snapshot is the serialized store form: documents only; the inverted
+// index is rebuilt on load (it is derived state).
+type snapshot struct {
+	Version   int         `json:"version"`
+	Documents []*Document `json:"documents"`
+}
+
+// snapshotVersion guards against future format changes.
+const snapshotVersion = 1
+
+// Save writes the store's documents as JSON. The snapshot is
+// deterministic (documents sorted by ID) so backups diff cleanly.
+func (s *Store) Save(w io.Writer) error {
+	s.mu.RLock()
+	docs := make([]*Document, 0, len(s.docs))
+	for _, d := range s.docs {
+		docs = append(docs, d.clone())
+	}
+	s.mu.RUnlock()
+	sort.Slice(docs, func(i, j int) bool { return docs[i].ID < docs[j].ID })
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(snapshot{Version: snapshotVersion, Documents: docs}); err != nil {
+		return fmt.Errorf("index: save: %w", err)
+	}
+	return nil
+}
+
+// Load replaces the store's contents with a snapshot written by Save,
+// rebuilding the inverted index.
+func (s *Store) Load(r io.Reader) error {
+	var snap snapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("index: load: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return fmt.Errorf("index: load: unsupported snapshot version %d", snap.Version)
+	}
+	s.mu.Lock()
+	s.docs = make(map[DocID]*Document, len(snap.Documents))
+	s.byCommunity = make(map[string]map[DocID]struct{})
+	s.inverted = make(map[string]map[string]map[DocID]struct{})
+	s.postings = 0
+	s.mu.Unlock()
+	for _, d := range snap.Documents {
+		if err := s.Put(d); err != nil {
+			return fmt.Errorf("index: load %s: %w", d.ID, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package index
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/query"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := seeded(t)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	restored := NewStore()
+	if err := restored.Load(&buf); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if restored.Len() != s.Len() {
+		t.Fatalf("len = %d, want %d", restored.Len(), s.Len())
+	}
+	if restored.Postings() != s.Postings() {
+		t.Errorf("postings = %d, want %d (index rebuilt)", restored.Postings(), s.Postings())
+	}
+	// Same search behaviour.
+	for _, f := range []string{"(title=Observer)", "(keywords=behavioral)", "(year>=1990)"} {
+		a := ids(s.Search("patterns", query.MustParse(f), 0))
+		b := ids(restored.Search("patterns", query.MustParse(f), 0))
+		if strings.Join(a, ",") != strings.Join(b, ",") {
+			t.Errorf("%s: %v vs %v", f, a, b)
+		}
+	}
+	// Documents round-trip fully.
+	d, err := restored.Get("d4")
+	if err != nil || d.Title != "Kind of Blue" || d.XML == "" {
+		t.Errorf("d4 = %+v, %v", d, err)
+	}
+}
+
+func TestSaveDeterministic(t *testing.T) {
+	s := seeded(t)
+	var a, b bytes.Buffer
+	if err := s.Save(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("snapshots differ between saves")
+	}
+}
+
+func TestLoadReplacesContents(t *testing.T) {
+	donor := seeded(t)
+	var buf bytes.Buffer
+	if err := donor.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	target := NewStore()
+	if err := target.Put(doc("old", "stale", "Old", map[string][]string{"k": {"v"}})); err != nil {
+		t.Fatal(err)
+	}
+	if err := target.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if target.Has("old") {
+		t.Error("pre-load contents survived")
+	}
+	if got := target.Search("stale", query.MustParse("(k=v)"), 0); len(got) != 0 {
+		t.Error("stale index entries survived load")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	s := NewStore()
+	if err := s.Load(strings.NewReader("{")); err == nil {
+		t.Error("truncated json accepted")
+	}
+	if err := s.Load(strings.NewReader(`{"version":2,"documents":[]}`)); err == nil {
+		t.Error("future version accepted")
+	}
+	if err := s.Load(strings.NewReader(`{"version":1,"documents":[{"ID":""}]}`)); err == nil {
+		t.Error("document without ID accepted")
+	}
+}

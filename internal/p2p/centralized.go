@@ -1,0 +1,320 @@
+package p2p
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/index"
+	"repro/internal/query"
+	"repro/internal/transport"
+)
+
+// IndexServer is the Napster-style central index. It stores only
+// metadata (attributes + provider); objects stay on their publishing
+// peers and are fetched peer-to-peer, exactly like Napster's split
+// between central search and direct download.
+type IndexServer struct {
+	ep transport.Endpoint
+
+	mu      sync.RWMutex
+	entries map[index.DocID][]serverEntry // replicas share a DocID
+}
+
+type serverEntry struct {
+	provider    transport.PeerID
+	communityID string
+	title       string
+	attrs       query.Attrs
+}
+
+// NewIndexServer attaches a server to the given endpoint.
+func NewIndexServer(ep transport.Endpoint) *IndexServer {
+	s := &IndexServer{
+		ep:      ep,
+		entries: make(map[index.DocID][]serverEntry),
+	}
+	ep.SetHandler(s.handle)
+	return s
+}
+
+// Len returns the number of distinct registered documents.
+func (s *IndexServer) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.entries)
+}
+
+// DropPeer removes all registrations from a peer (simulating a peer
+// disconnect noticed by the server).
+func (s *IndexServer) DropPeer(peer transport.PeerID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id, entries := range s.entries {
+		kept := entries[:0]
+		for _, e := range entries {
+			if e.provider != peer {
+				kept = append(kept, e)
+			}
+		}
+		if len(kept) == 0 {
+			delete(s.entries, id)
+		} else {
+			s.entries[id] = kept
+		}
+	}
+}
+
+func (s *IndexServer) handle(msg transport.Message) {
+	switch msg.Type {
+	case MsgRegister:
+		var reg registerPayload
+		if err := json.Unmarshal(msg.Payload, &reg); err != nil {
+			return
+		}
+		s.mu.Lock()
+		entries := s.entries[reg.DocID]
+		replaced := false
+		for i, e := range entries {
+			if e.provider == msg.From {
+				entries[i] = serverEntry{msg.From, reg.CommunityID, reg.Title, reg.Attrs}
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			entries = append(entries, serverEntry{msg.From, reg.CommunityID, reg.Title, reg.Attrs})
+		}
+		s.entries[reg.DocID] = entries
+		s.mu.Unlock()
+	case MsgUnregister:
+		var unreg unregisterPayload
+		if err := json.Unmarshal(msg.Payload, &unreg); err != nil {
+			return
+		}
+		s.mu.Lock()
+		entries := s.entries[unreg.DocID]
+		kept := entries[:0]
+		for _, e := range entries {
+			if e.provider != msg.From {
+				kept = append(kept, e)
+			}
+		}
+		if len(kept) == 0 {
+			delete(s.entries, unreg.DocID)
+		} else {
+			s.entries[unreg.DocID] = kept
+		}
+		s.mu.Unlock()
+	case MsgSearch:
+		var req searchPayload
+		if err := json.Unmarshal(msg.Payload, &req); err != nil {
+			return
+		}
+		f, err := query.Parse(req.Filter)
+		if err != nil {
+			f = query.MatchAll{}
+		}
+		results := s.search(req.CommunityID, f, req.Limit)
+		_ = s.ep.Send(transport.Message{
+			To:      msg.From,
+			Type:    MsgSearchHit,
+			Payload: marshal(searchHitPayload{ReqID: req.ReqID, Results: results}),
+		})
+	}
+}
+
+func (s *IndexServer) search(communityID string, f query.Filter, limit int) []Result {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Result
+	ids := make([]index.DocID, 0, len(s.entries))
+	for id := range s.entries {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		for _, e := range s.entries[id] {
+			if communityID != "" && e.communityID != communityID {
+				continue
+			}
+			if !f.Match(e.attrs) {
+				continue
+			}
+			out = append(out, Result{
+				DocID:       id,
+				Provider:    e.provider,
+				CommunityID: e.communityID,
+				Title:       e.title,
+				Attrs:       e.attrs,
+			})
+			if limit > 0 && len(out) >= limit {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// CentralizedClient is a peer in the centralized protocol: it keeps
+// its shared objects in a local store, registers their metadata with
+// the index server, and serves fetches from other peers directly.
+type CentralizedClient struct {
+	ep      transport.Endpoint
+	server  transport.PeerID
+	store   *index.Store
+	pending *pendingTable
+
+	mu     sync.RWMutex
+	attach AttachmentProvider
+	closed bool
+}
+
+var _ Network = (*CentralizedClient)(nil)
+
+// NewCentralizedClient attaches a client to the network; server is the
+// index server's peer ID. store holds the peer's shared objects.
+func NewCentralizedClient(ep transport.Endpoint, server transport.PeerID, store *index.Store) *CentralizedClient {
+	c := &CentralizedClient{
+		ep:      ep,
+		server:  server,
+		store:   store,
+		pending: newPendingTable(),
+	}
+	ep.SetHandler(c.handle)
+	return c
+}
+
+// PeerID implements Network.
+func (c *CentralizedClient) PeerID() transport.PeerID { return c.ep.ID() }
+
+// SetAttachmentProvider implements Network.
+func (c *CentralizedClient) SetAttachmentProvider(p AttachmentProvider) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.attach = p
+}
+
+// Publish implements Network: store locally, register centrally.
+func (c *CentralizedClient) Publish(doc *index.Document) error {
+	if err := c.store.Put(doc); err != nil {
+		return err
+	}
+	return c.ep.Send(transport.Message{
+		To:   c.server,
+		Type: MsgRegister,
+		Payload: marshal(registerPayload{
+			DocID:       doc.ID,
+			CommunityID: doc.CommunityID,
+			Title:       doc.Title,
+			Attrs:       doc.Attrs,
+		}),
+	})
+}
+
+// Unpublish implements Network.
+func (c *CentralizedClient) Unpublish(id index.DocID) error {
+	c.store.Delete(id)
+	return c.ep.Send(transport.Message{
+		To:      c.server,
+		Type:    MsgUnregister,
+		Payload: marshal(unregisterPayload{DocID: id}),
+	})
+}
+
+// Search implements Network: one round trip to the index server.
+func (c *CentralizedClient) Search(communityID string, f query.Filter, opts SearchOptions) ([]Result, error) {
+	if f == nil {
+		f = query.MatchAll{}
+	}
+	reqID, ch := c.pending.create()
+	err := c.ep.Send(transport.Message{
+		To:   c.server,
+		Type: MsgSearch,
+		Payload: marshal(searchPayload{
+			ReqID:       reqID,
+			CommunityID: communityID,
+			Filter:      f.String(),
+			Limit:       opts.Limit,
+		}),
+	})
+	if err != nil {
+		c.pending.drop(reqID)
+		return nil, fmt.Errorf("p2p: search: %w", err)
+	}
+	raw, err := await(ch, opts.Timeout)
+	if err != nil {
+		c.pending.drop(reqID)
+		return nil, err
+	}
+	var hit searchHitPayload
+	if err := json.Unmarshal(raw, &hit); err != nil {
+		return nil, fmt.Errorf("p2p: search reply: %w", err)
+	}
+	return hit.Results, nil
+}
+
+// Retrieve implements Network: direct peer-to-peer download.
+func (c *CentralizedClient) Retrieve(id index.DocID, from transport.PeerID) (*index.Document, error) {
+	if from == c.PeerID() {
+		return c.store.Get(id)
+	}
+	return retrieveFrom(c.ep, c.pending, id, from, 0)
+}
+
+// RetrieveAttachment implements Network.
+func (c *CentralizedClient) RetrieveAttachment(uri string, from transport.PeerID) ([]byte, error) {
+	return retrieveAttachmentFrom(c.ep, c.pending, uri, from, 0)
+}
+
+// Close implements Network.
+func (c *CentralizedClient) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	return c.ep.Close()
+}
+
+func (c *CentralizedClient) handle(msg transport.Message) {
+	switch msg.Type {
+	case MsgSearchHit:
+		var hit searchHitPayload
+		if err := json.Unmarshal(msg.Payload, &hit); err != nil {
+			return
+		}
+		c.pending.resolve(hit.ReqID, msg.Payload)
+	case MsgFetchReply:
+		var reply fetchReplyPayload
+		if err := json.Unmarshal(msg.Payload, &reply); err != nil {
+			return
+		}
+		c.pending.resolve(reply.ReqID, msg.Payload)
+	case MsgAttachmentReply:
+		var reply attachmentReplyPayload
+		if err := json.Unmarshal(msg.Payload, &reply); err != nil {
+			return
+		}
+		c.pending.resolve(reply.ReqID, msg.Payload)
+	case MsgFetch:
+		serveFetch(c.ep, c.store, msg)
+	case MsgAttachment:
+		c.mu.RLock()
+		p := c.attach
+		c.mu.RUnlock()
+		serveAttachment(c.ep, p, msg)
+	}
+}
+
+// timeoutOr returns opts timeout or the default.
+func timeoutOr(d time.Duration) time.Duration {
+	if d <= 0 {
+		return DefaultTimeout
+	}
+	return d
+}

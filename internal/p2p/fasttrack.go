@@ -1,0 +1,303 @@
+package p2p
+
+import (
+	"encoding/json"
+	"sync"
+
+	"repro/internal/index"
+	"repro/internal/query"
+	"repro/internal/transport"
+)
+
+// FastTrack-style super-peer protocol: the third network named in the
+// paper's Fig. 3 protocol enumeration. Ordinary peers (leaves) attach
+// to one super-peer and upload their metadata to it, as Napster
+// clients do to the central server; super-peers flood queries among
+// themselves, as Gnutella nodes do. The hybrid bounds flooding to the
+// (much smaller) super-peer overlay while avoiding a single central
+// index.
+//
+// Message reuse: leaves speak the centralized wire protocol
+// (register/unregister/search) to their super-peer; super-peers speak
+// the Gnutella wire protocol (query/query-hit) among themselves.
+// Retrieval is the shared direct fetch protocol in both roles.
+
+// SuperPeer is a FastTrack hub: it indexes its leaves' metadata and
+// floods queries across the super-peer overlay.
+type SuperPeer struct {
+	ep transport.Endpoint
+
+	mu        sync.RWMutex
+	leafIndex map[index.DocID][]serverEntry
+	neighbors map[transport.PeerID]struct{}
+	seen      map[uint64]transport.PeerID
+	collect   map[uint64]*hitCollector
+	closed    bool
+}
+
+// NewSuperPeer attaches a super-peer to the network.
+func NewSuperPeer(ep transport.Endpoint) *SuperPeer {
+	s := &SuperPeer{
+		ep:        ep,
+		leafIndex: make(map[index.DocID][]serverEntry),
+		neighbors: make(map[transport.PeerID]struct{}),
+		seen:      make(map[uint64]transport.PeerID),
+		collect:   make(map[uint64]*hitCollector),
+	}
+	ep.SetHandler(s.handle)
+	return s
+}
+
+// PeerID returns the super-peer's identity.
+func (s *SuperPeer) PeerID() transport.PeerID { return s.ep.ID() }
+
+// AddNeighbor links this super-peer to another (one direction).
+func (s *SuperPeer) AddNeighbor(peer transport.PeerID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if peer != s.ep.ID() {
+		s.neighbors[peer] = struct{}{}
+	}
+}
+
+// Len returns the number of distinct documents indexed for leaves.
+func (s *SuperPeer) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.leafIndex)
+}
+
+// DropLeaf removes a departed leaf's registrations.
+func (s *SuperPeer) DropLeaf(peer transport.PeerID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id, entries := range s.leafIndex {
+		kept := entries[:0]
+		for _, e := range entries {
+			if e.provider != peer {
+				kept = append(kept, e)
+			}
+		}
+		if len(kept) == 0 {
+			delete(s.leafIndex, id)
+		} else {
+			s.leafIndex[id] = kept
+		}
+	}
+}
+
+// Close detaches the super-peer.
+func (s *SuperPeer) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	return s.ep.Close()
+}
+
+func (s *SuperPeer) handle(msg transport.Message) {
+	switch msg.Type {
+	case MsgRegister:
+		var reg registerPayload
+		if err := json.Unmarshal(msg.Payload, &reg); err != nil {
+			return
+		}
+		s.mu.Lock()
+		entries := s.leafIndex[reg.DocID]
+		replaced := false
+		for i, e := range entries {
+			if e.provider == msg.From {
+				entries[i] = serverEntry{msg.From, reg.CommunityID, reg.Title, reg.Attrs}
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			entries = append(entries, serverEntry{msg.From, reg.CommunityID, reg.Title, reg.Attrs})
+		}
+		s.leafIndex[reg.DocID] = entries
+		s.mu.Unlock()
+	case MsgUnregister:
+		var unreg unregisterPayload
+		if err := json.Unmarshal(msg.Payload, &unreg); err != nil {
+			return
+		}
+		s.mu.Lock()
+		entries := s.leafIndex[unreg.DocID]
+		kept := entries[:0]
+		for _, e := range entries {
+			if e.provider != msg.From {
+				kept = append(kept, e)
+			}
+		}
+		if len(kept) == 0 {
+			delete(s.leafIndex, unreg.DocID)
+		} else {
+			s.leafIndex[unreg.DocID] = kept
+		}
+		s.mu.Unlock()
+	case MsgSearch:
+		// A leaf's search: answer from the local leaf index, then flood
+		// the super-peer overlay and merge.
+		s.handleLeafSearch(msg)
+	case MsgQuery:
+		s.handleQuery(msg)
+	case MsgQueryHit:
+		s.handleQueryHit(msg)
+	}
+}
+
+// handleLeafSearch serves a leaf: local hits immediately, remote hits
+// gathered by flooding other super-peers.
+func (s *SuperPeer) handleLeafSearch(msg transport.Message) {
+	var req searchPayload
+	if err := json.Unmarshal(msg.Payload, &req); err != nil {
+		return
+	}
+	f, err := query.Parse(req.Filter)
+	if err != nil {
+		f = query.MatchAll{}
+	}
+	results := s.localSearch(req.CommunityID, f, req.Limit)
+
+	guid := nextGUID()
+	col := &hitCollector{done: make(chan struct{}), limit: req.Limit}
+	col.add(results)
+	s.mu.Lock()
+	s.collect[guid] = col
+	s.seen[guid] = s.ep.ID()
+	neighbors := make([]transport.PeerID, 0, len(s.neighbors))
+	for n := range s.neighbors {
+		neighbors = append(neighbors, n)
+	}
+	s.mu.Unlock()
+	q := queryPayload{
+		GUID:        guid,
+		Origin:      s.ep.ID(),
+		CommunityID: req.CommunityID,
+		Filter:      f.String(),
+		TTL:         DefaultTTL,
+	}
+	payload := marshal(q)
+	for _, n := range neighbors {
+		_ = s.ep.Send(transport.Message{To: n, Type: MsgQuery, Payload: payload})
+	}
+	// On the synchronous simulator the flood has completed; reply with
+	// everything collected. (Over TCP a production implementation would
+	// defer the reply; the experiments run on the simulator.)
+	merged := col.snapshot(req.Limit)
+	s.mu.Lock()
+	delete(s.collect, guid)
+	s.mu.Unlock()
+	_ = s.ep.Send(transport.Message{
+		To:      msg.From,
+		Type:    MsgSearchHit,
+		Payload: marshal(searchHitPayload{ReqID: req.ReqID, Results: merged}),
+	})
+}
+
+func (s *SuperPeer) localSearch(communityID string, f query.Filter, limit int) []Result {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Result
+	for id, entries := range s.leafIndex {
+		for _, e := range entries {
+			if communityID != "" && e.communityID != communityID {
+				continue
+			}
+			if !f.Match(e.attrs) {
+				continue
+			}
+			out = append(out, Result{
+				DocID:       id,
+				Provider:    e.provider,
+				CommunityID: e.communityID,
+				Title:       e.title,
+				Attrs:       e.attrs,
+			})
+			if limit > 0 && len(out) >= limit {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+func (s *SuperPeer) handleQuery(msg transport.Message) {
+	var q queryPayload
+	if err := json.Unmarshal(msg.Payload, &q); err != nil {
+		return
+	}
+	s.mu.Lock()
+	if _, dup := s.seen[q.GUID]; dup {
+		s.mu.Unlock()
+		return
+	}
+	s.seen[q.GUID] = msg.From
+	neighbors := make([]transport.PeerID, 0, len(s.neighbors))
+	for n := range s.neighbors {
+		neighbors = append(neighbors, n)
+	}
+	s.mu.Unlock()
+	f, err := query.Parse(q.Filter)
+	if err != nil {
+		return
+	}
+	hops := q.Hops + 1
+	results := s.localSearch(q.CommunityID, f, 0)
+	for i := range results {
+		results[i].Hops = hops
+	}
+	if len(results) > 0 {
+		_ = s.ep.Send(transport.Message{
+			To:      msg.From,
+			Type:    MsgQueryHit,
+			Payload: marshal(queryHitPayload{GUID: q.GUID, Results: results}),
+		})
+	}
+	if q.TTL <= 1 {
+		return
+	}
+	fwd := q
+	fwd.TTL--
+	fwd.Hops = hops
+	payload := marshal(fwd)
+	for _, n := range neighbors {
+		if n != msg.From {
+			_ = s.ep.Send(transport.Message{To: n, Type: MsgQuery, Payload: payload})
+		}
+	}
+}
+
+func (s *SuperPeer) handleQueryHit(msg transport.Message) {
+	var hit queryHitPayload
+	if err := json.Unmarshal(msg.Payload, &hit); err != nil {
+		return
+	}
+	s.mu.RLock()
+	col := s.collect[hit.GUID]
+	back, seen := s.seen[hit.GUID]
+	self := s.ep.ID()
+	s.mu.RUnlock()
+	if col != nil {
+		col.add(hit.Results)
+		return
+	}
+	if !seen || back == self {
+		return
+	}
+	_ = s.ep.Send(transport.Message{To: back, Type: MsgQueryHit, Payload: msg.Payload})
+}
+
+// FastTrackLeaf is an ordinary peer in the super-peer network. Its
+// wire behaviour toward the super-peer is exactly the centralized
+// client's, so it simply wraps one.
+type FastTrackLeaf struct {
+	*CentralizedClient
+}
+
+var _ Network = (*FastTrackLeaf)(nil)
+
+// NewFastTrackLeaf attaches a leaf to its super-peer.
+func NewFastTrackLeaf(ep transport.Endpoint, super transport.PeerID, store *index.Store) *FastTrackLeaf {
+	return &FastTrackLeaf{CentralizedClient: NewCentralizedClient(ep, super, store)}
+}

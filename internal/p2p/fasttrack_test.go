@@ -1,0 +1,137 @@
+package p2p
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/index"
+	"repro/internal/query"
+	"repro/internal/transport"
+)
+
+// ftFixture: S super-peers in a ring, L leaves per super-peer.
+type ftFixture struct {
+	net    *transport.MemNetwork
+	supers []*SuperPeer
+	leaves []*FastTrackLeaf
+}
+
+func newFTFixture(t *testing.T, superN, leavesPer int) *ftFixture {
+	t.Helper()
+	net := transport.NewMemNetwork()
+	f := &ftFixture{net: net}
+	for i := 0; i < superN; i++ {
+		ep, err := net.Endpoint(transport.PeerID(fmt.Sprintf("super%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.supers = append(f.supers, NewSuperPeer(ep))
+	}
+	for i := 0; i < superN; i++ {
+		f.supers[i].AddNeighbor(f.supers[(i+1)%superN].PeerID())
+		f.supers[(i+1)%superN].AddNeighbor(f.supers[i].PeerID())
+	}
+	for i := 0; i < superN*leavesPer; i++ {
+		ep, err := net.Endpoint(transport.PeerID(fmt.Sprintf("leaf%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		super := f.supers[i%superN]
+		f.leaves = append(f.leaves, NewFastTrackLeaf(ep, super.PeerID(), index.NewStore()))
+	}
+	return f
+}
+
+func TestFastTrackSearchAcrossSuperPeers(t *testing.T) {
+	f := newFTFixture(t, 3, 2)
+	// Leaf 0 is under super0; leaf 5 under super2.
+	if err := f.leaves[5].Publish(doc("d1", "c", "Observer", map[string]string{"title": "Observer"})); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := f.leaves[0].Search("c", query.MustParse("(title=Observer)"), SearchOptions{})
+	if err != nil {
+		t.Fatalf("search: %v", err)
+	}
+	if len(rs) != 1 {
+		t.Fatalf("results = %+v", rs)
+	}
+	if rs[0].Provider != f.leaves[5].PeerID() {
+		t.Errorf("provider = %s", rs[0].Provider)
+	}
+	// Retrieval is direct leaf-to-leaf.
+	got, err := f.leaves[0].Retrieve(rs[0].DocID, rs[0].Provider)
+	if err != nil {
+		t.Fatalf("retrieve: %v", err)
+	}
+	if got.Title != "Observer" {
+		t.Errorf("doc = %+v", got)
+	}
+}
+
+func TestFastTrackLocalSuperPeerAnswers(t *testing.T) {
+	f := newFTFixture(t, 2, 2)
+	// Two leaves on the same super-peer.
+	f.leaves[0].Publish(doc("a", "c", "A", map[string]string{"k": "v"}))
+	f.leaves[2].Publish(doc("b", "c", "B", map[string]string{"k": "v"}))
+	rs, err := f.leaves[0].Search("c", query.MustParse("(k=v)"), SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Errorf("results = %+v", rs)
+	}
+}
+
+func TestFastTrackFloodBoundedToSuperOverlay(t *testing.T) {
+	f := newFTFixture(t, 4, 4) // 4 supers, 16 leaves
+	f.leaves[0].Publish(doc("d", "c", "T", map[string]string{"k": "v"}))
+	f.net.ResetStats()
+	if _, err := f.leaves[1].Search("c", query.MustParse("(k=v)"), SearchOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	st := f.net.Stats()
+	// Query flooding happens only among the 4 super-peers; with 16
+	// leaves a full Gnutella flood would be far larger. Search round
+	// trip (2) + ring flood (<= 2*4 queries + hits).
+	if st.Messages > 16 {
+		t.Errorf("messages = %d, super-peer flood should be small", st.Messages)
+	}
+}
+
+func TestFastTrackUnpublishAndDropLeaf(t *testing.T) {
+	f := newFTFixture(t, 2, 2)
+	d := doc("d", "c", "T", map[string]string{"k": "v"})
+	if err := f.leaves[0].Publish(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.leaves[0].Unpublish("d"); err != nil {
+		t.Fatal(err)
+	}
+	rs, _ := f.leaves[1].Search("c", query.MustParse("(k=v)"), SearchOptions{})
+	if len(rs) != 0 {
+		t.Errorf("results after unpublish = %+v", rs)
+	}
+	// DropLeaf removes a dead leaf's registrations.
+	f.leaves[0].Publish(d)
+	f.supers[0].DropLeaf(f.leaves[0].PeerID())
+	rs, _ = f.leaves[1].Search("c", query.MustParse("(k=v)"), SearchOptions{})
+	if len(rs) != 0 {
+		t.Errorf("results after DropLeaf = %+v", rs)
+	}
+	if f.supers[0].Len() != 0 {
+		t.Errorf("super index len = %d", f.supers[0].Len())
+	}
+}
+
+func TestFastTrackDuplicateSuppression(t *testing.T) {
+	// Ring of supers: results must not duplicate despite two paths.
+	f := newFTFixture(t, 4, 1)
+	f.leaves[2].Publish(doc("d", "c", "T", map[string]string{"k": "v"}))
+	rs, err := f.leaves[0].Search("c", query.MustParse("(k=v)"), SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 {
+		t.Errorf("results = %+v", rs)
+	}
+}

@@ -1,0 +1,347 @@
+// Package p2p implements U-P2P's protocol-independent network layer.
+//
+// The paper deliberately refuses to fix a network architecture: "U-P2P
+// does not focus on the underlying network architecture or
+// discriminate between centralized or distributed approaches" (§IV.B),
+// and its future-work section proposes "a generic interface with
+// primitives for create, search and retrieve" (§VI). Network is that
+// interface. Three real implementations are provided, matching the
+// full protocol enumeration of the community schema (Fig. 3):
+//
+//   - Centralized: a Napster-style index server; peers register
+//     metadata centrally, search costs O(1) messages, retrieval is
+//     peer-to-peer.
+//   - Gnutella: fully distributed TTL-bounded query flooding with
+//     reverse-path query-hit routing and Ping/Pong neighbor
+//     discovery; metadata stays on the publishing peer.
+//   - FastTrack: super-peer hybrid; leaves register with a super-peer
+//     and queries flood only the super-peer overlay.
+//
+// All run over any transport.Endpoint, so the same protocol code
+// serves the in-memory simulator and real TCP.
+package p2p
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/index"
+	"repro/internal/query"
+	"repro/internal/transport"
+)
+
+// Message types on the wire.
+const (
+	// Centralized protocol.
+	MsgRegister   = "register"
+	MsgUnregister = "unregister"
+	MsgSearch     = "search"
+	MsgSearchHit  = "search-hit"
+	// Gnutella protocol.
+	MsgQuery    = "query"
+	MsgQueryHit = "query-hit"
+	// Shared retrieval protocol (§IV.C.2: download from the providing
+	// peer, including attachments).
+	MsgFetch           = "fetch"
+	MsgFetchReply      = "fetch-reply"
+	MsgAttachment      = "attachment"
+	MsgAttachmentReply = "attachment-reply"
+)
+
+// Result is one search hit: the full metadata of a matching object
+// plus its provider, per §IV.C.2 ("Results ... will consist of full
+// meta-data for each search result").
+type Result struct {
+	DocID       index.DocID      `json:"docId"`
+	Provider    transport.PeerID `json:"provider"`
+	CommunityID string           `json:"communityId"`
+	Title       string           `json:"title"`
+	Attrs       query.Attrs      `json:"attrs"`
+	Hops        int              `json:"hops"`
+}
+
+// SearchOptions tune one search call.
+type SearchOptions struct {
+	// Limit caps the number of results (0 = unlimited).
+	Limit int
+	// TTL bounds flooding depth (Gnutella only; 0 uses DefaultTTL).
+	TTL int
+	// Timeout bounds result collection on asynchronous transports
+	// (0 uses DefaultTimeout). Ignored on the synchronous simulator.
+	Timeout time.Duration
+}
+
+// Defaults for SearchOptions.
+const (
+	DefaultTTL     = 7
+	DefaultTimeout = 2 * time.Second
+)
+
+// AttachmentProvider resolves a local attachment URI to its bytes.
+// The servent installs one so peers can download flagged attachments.
+type AttachmentProvider func(uri string) ([]byte, bool)
+
+// Network is the generic peer-to-peer interface: create (Publish),
+// search, and retrieve.
+type Network interface {
+	// PeerID returns this node's network identity.
+	PeerID() transport.PeerID
+	// Publish makes a document discoverable on the network.
+	Publish(doc *index.Document) error
+	// Unpublish withdraws a document.
+	Unpublish(id index.DocID) error
+	// Search finds matching documents within a community.
+	Search(communityID string, f query.Filter, opts SearchOptions) ([]Result, error)
+	// Retrieve downloads the full document from a providing peer.
+	Retrieve(id index.DocID, from transport.PeerID) (*index.Document, error)
+	// RetrieveAttachment downloads one attachment from a peer.
+	RetrieveAttachment(uri string, from transport.PeerID) ([]byte, error)
+	// SetAttachmentProvider installs the resolver for local attachments.
+	SetAttachmentProvider(p AttachmentProvider)
+	// Close detaches from the network.
+	Close() error
+}
+
+// Common errors.
+var (
+	ErrTimeout     = errors.New("p2p: timed out awaiting response")
+	ErrNotProvided = errors.New("p2p: peer does not provide the requested item")
+	ErrClosed      = errors.New("p2p: node closed")
+)
+
+// --- wire payloads ---
+
+type searchPayload struct {
+	ReqID       uint64 `json:"reqId"`
+	CommunityID string `json:"communityId"`
+	Filter      string `json:"filter"`
+	Limit       int    `json:"limit"`
+}
+
+type searchHitPayload struct {
+	ReqID   uint64   `json:"reqId"`
+	Results []Result `json:"results"`
+}
+
+type registerPayload struct {
+	DocID       index.DocID `json:"docId"`
+	CommunityID string      `json:"communityId"`
+	Title       string      `json:"title"`
+	Attrs       query.Attrs `json:"attrs"`
+}
+
+type unregisterPayload struct {
+	DocID index.DocID `json:"docId"`
+}
+
+type queryPayload struct {
+	GUID        uint64           `json:"guid"`
+	Origin      transport.PeerID `json:"origin"`
+	CommunityID string           `json:"communityId"`
+	Filter      string           `json:"filter"`
+	TTL         int              `json:"ttl"`
+	Hops        int              `json:"hops"`
+}
+
+type queryHitPayload struct {
+	GUID    uint64   `json:"guid"`
+	Results []Result `json:"results"`
+}
+
+type fetchPayload struct {
+	ReqID uint64      `json:"reqId"`
+	DocID index.DocID `json:"docId"`
+}
+
+type fetchReplyPayload struct {
+	ReqID uint64          `json:"reqId"`
+	Found bool            `json:"found"`
+	Doc   *index.Document `json:"doc,omitempty"`
+}
+
+type attachmentPayload struct {
+	ReqID uint64 `json:"reqId"`
+	URI   string `json:"uri"`
+}
+
+type attachmentReplyPayload struct {
+	ReqID uint64 `json:"reqId"`
+	Found bool   `json:"found"`
+	Data  []byte `json:"data,omitempty"`
+}
+
+func marshal(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// All payload types are plain data; failure is a programming
+		// error worth failing loudly on.
+		panic(fmt.Sprintf("p2p: marshal: %v", err))
+	}
+	return b
+}
+
+// --- request/response correlation ---
+
+// pendingTable matches responses to outstanding requests by ID.
+type pendingTable struct {
+	mu   sync.Mutex
+	next uint64
+	m    map[uint64]chan json.RawMessage
+}
+
+func newPendingTable() *pendingTable {
+	return &pendingTable{m: make(map[uint64]chan json.RawMessage)}
+}
+
+// create registers a new request and returns its ID and reply channel.
+func (p *pendingTable) create() (uint64, chan json.RawMessage) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.next++
+	id := p.next
+	ch := make(chan json.RawMessage, 1)
+	p.m[id] = ch
+	return id, ch
+}
+
+// resolve delivers a response; late or unknown responses are dropped.
+func (p *pendingTable) resolve(id uint64, payload json.RawMessage) {
+	p.mu.Lock()
+	ch, ok := p.m[id]
+	if ok {
+		delete(p.m, id)
+	}
+	p.mu.Unlock()
+	if ok {
+		select {
+		case ch <- payload:
+		default:
+		}
+	}
+}
+
+// drop abandons a request.
+func (p *pendingTable) drop(id uint64) {
+	p.mu.Lock()
+	delete(p.m, id)
+	p.mu.Unlock()
+}
+
+// await waits for a response with a timeout.
+func await(ch chan json.RawMessage, timeout time.Duration) (json.RawMessage, error) {
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	select {
+	case payload := <-ch:
+		return payload, nil
+	case <-time.After(timeout):
+		return nil, ErrTimeout
+	}
+}
+
+// guidCounter produces unique query GUIDs per process; combined with
+// the origin peer ID they are globally unique enough for duplicate
+// suppression.
+var guidCounter atomic.Uint64
+
+func nextGUID() uint64 { return guidCounter.Add(1) }
+
+// serveFetch answers MsgFetch from a local store: the provider side of
+// Retrieve, shared by both protocols.
+func serveFetch(ep transport.Endpoint, store *index.Store, msg transport.Message) {
+	var req fetchPayload
+	if err := json.Unmarshal(msg.Payload, &req); err != nil {
+		return
+	}
+	reply := fetchReplyPayload{ReqID: req.ReqID}
+	if doc, err := store.Get(req.DocID); err == nil {
+		reply.Found = true
+		reply.Doc = doc
+	}
+	_ = ep.Send(transport.Message{
+		To:      msg.From,
+		Type:    MsgFetchReply,
+		Payload: marshal(reply),
+	})
+}
+
+// serveAttachment answers MsgAttachment via the provider callback.
+func serveAttachment(ep transport.Endpoint, provider AttachmentProvider, msg transport.Message) {
+	var req attachmentPayload
+	if err := json.Unmarshal(msg.Payload, &req); err != nil {
+		return
+	}
+	reply := attachmentReplyPayload{ReqID: req.ReqID}
+	if provider != nil {
+		if data, ok := provider(req.URI); ok {
+			reply.Found = true
+			reply.Data = data
+		}
+	}
+	_ = ep.Send(transport.Message{
+		To:      msg.From,
+		Type:    MsgAttachmentReply,
+		Payload: marshal(reply),
+	})
+}
+
+// retrieveFrom implements the client side of Retrieve for both
+// protocols.
+func retrieveFrom(ep transport.Endpoint, pending *pendingTable, id index.DocID, from transport.PeerID, timeout time.Duration) (*index.Document, error) {
+	reqID, ch := pending.create()
+	err := ep.Send(transport.Message{
+		To:      from,
+		Type:    MsgFetch,
+		Payload: marshal(fetchPayload{ReqID: reqID, DocID: id}),
+	})
+	if err != nil {
+		pending.drop(reqID)
+		return nil, fmt.Errorf("p2p: fetch: %w", err)
+	}
+	raw, err := await(ch, timeout)
+	if err != nil {
+		pending.drop(reqID)
+		return nil, err
+	}
+	var reply fetchReplyPayload
+	if err := json.Unmarshal(raw, &reply); err != nil {
+		return nil, fmt.Errorf("p2p: fetch reply: %w", err)
+	}
+	if !reply.Found || reply.Doc == nil {
+		return nil, fmt.Errorf("%w: %s at %s", ErrNotProvided, id, from)
+	}
+	return reply.Doc, nil
+}
+
+// retrieveAttachmentFrom implements the client side of attachment
+// download for both protocols.
+func retrieveAttachmentFrom(ep transport.Endpoint, pending *pendingTable, uri string, from transport.PeerID, timeout time.Duration) ([]byte, error) {
+	reqID, ch := pending.create()
+	err := ep.Send(transport.Message{
+		To:      from,
+		Type:    MsgAttachment,
+		Payload: marshal(attachmentPayload{ReqID: reqID, URI: uri}),
+	})
+	if err != nil {
+		pending.drop(reqID)
+		return nil, fmt.Errorf("p2p: attachment: %w", err)
+	}
+	raw, err := await(ch, timeout)
+	if err != nil {
+		pending.drop(reqID)
+		return nil, err
+	}
+	var reply attachmentReplyPayload
+	if err := json.Unmarshal(raw, &reply); err != nil {
+		return nil, fmt.Errorf("p2p: attachment reply: %w", err)
+	}
+	if !reply.Found {
+		return nil, fmt.Errorf("%w: attachment %s at %s", ErrNotProvided, uri, from)
+	}
+	return reply.Data, nil
+}

@@ -1,0 +1,76 @@
+package query
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestPropertyParserNeverPanics feeds the parser adversarial strings
+// assembled from the filter grammar's alphabet: it must either parse
+// or return an error, never panic, and parsed filters must evaluate
+// without panicking.
+func TestPropertyParserNeverPanics(t *testing.T) {
+	alphabet := []string{
+		"(", ")", "&", "|", "!", "=", "~=", ">=", "<=", ">", "<", "*",
+		"a", "title", "keywords", "1994", " ", "value", "(&", "))", "(a=b)",
+	}
+	attrs := Attrs{"a": {"b"}, "title": {"value"}, "keywords": {"1994"}}
+	f := func(seed int64, length uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		var b strings.Builder
+		n := int(length%24) + 1
+		for i := 0; i < n; i++ {
+			b.WriteString(alphabet[r.Intn(len(alphabet))])
+		}
+		filter, err := Parse(b.String())
+		if err != nil {
+			return true
+		}
+		filter.Match(attrs) // must not panic
+		reparsed, err := Parse(filter.String())
+		if err != nil {
+			t.Logf("canonical form unparseable: %q -> %q: %v", b.String(), filter.String(), err)
+			return false
+		}
+		return reparsed.Match(attrs) == filter.Match(attrs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyWildcardConsistency: wildcardMatch on a pattern without
+// '*' equals case-insensitive equality.
+func TestPropertyWildcardConsistency(t *testing.T) {
+	words := []string{"Observer", "observer", "OBSERVER", "Visitor", "obs", ""}
+	f := func(pi, vi uint8) bool {
+		p := words[int(pi)%len(words)]
+		v := words[int(vi)%len(words)]
+		if strings.ContainsRune(p, '*') {
+			return true
+		}
+		return wildcardMatch(p, v) == strings.EqualFold(p, v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyComplementConsistency: f and (!f) never agree.
+func TestPropertyComplementConsistency(t *testing.T) {
+	filters := []string{
+		"(a=1)", "(a~=x)", "(a>=2)", "(&(a=1)(b=2))", "(|(a=1)(b=2))",
+	}
+	vals := []string{"1", "2", "x", "xy", ""}
+	f := func(fi, av, bv uint8) bool {
+		base := MustParse(filters[int(fi)%len(filters)])
+		neg := &Not{Sub: base}
+		attrs := Attrs{"a": {vals[int(av)%len(vals)]}, "b": {vals[int(bv)%len(vals)]}}
+		return base.Match(attrs) != neg.Match(attrs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

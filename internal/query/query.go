@@ -1,0 +1,498 @@
+// Package query implements the attribute-filter language U-P2P uses
+// between servent and metadata store. The paper's prototype formatted
+// these as CMIP queries over the Magenta agent framework; we reproduce
+// the same expressive power (attribute assertions composed with
+// and/or/not) with an LDAP-style concrete syntax, which is the closest
+// widely-understood notation for CMIP-like filters:
+//
+//	(title=Observer)              exact match
+//	(title=Obs*)                  wildcard match
+//	(title=*)                     presence
+//	(keywords~=behavioral)        case-insensitive substring
+//	(year>=1994) (year<2000)      ordering (numeric when both sides parse)
+//	(&(a=1)(b=2))  (|(a=1)(a=2))  (!(a=1))   composition
+//
+// Attributes are multi-valued: an assertion holds when any value
+// matches, which models repeated XML elements (e.g. several keywords).
+package query
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Attrs is the attribute set a filter evaluates against: the indexed
+// fields extracted from one shared XML object.
+type Attrs map[string][]string
+
+// Add appends a value to an attribute.
+func (a Attrs) Add(name, value string) {
+	a[name] = append(a[name], value)
+}
+
+// Get returns the first value of an attribute, or "".
+func (a Attrs) Get(name string) string {
+	if vs := a[name]; len(vs) > 0 {
+		return vs[0]
+	}
+	return ""
+}
+
+// Clone deep-copies the attribute set.
+func (a Attrs) Clone() Attrs {
+	out := make(Attrs, len(a))
+	for k, vs := range a {
+		out[k] = append([]string(nil), vs...)
+	}
+	return out
+}
+
+// Filter is a parsed query filter.
+type Filter interface {
+	// Match reports whether the attribute set satisfies the filter.
+	Match(Attrs) bool
+	// String renders the canonical textual form (parseable by Parse).
+	String() string
+	// Attributes appends the attribute names the filter references.
+	Attributes(into []string) []string
+}
+
+// Op is a comparison operator in an assertion.
+type Op int
+
+// Comparison operators.
+const (
+	OpEq       Op = iota + 1 // =, with * wildcards; (a=*) is presence
+	OpContains               // ~= case-insensitive substring
+	OpGe                     // >=
+	OpLe                     // <=
+	OpGt                     // >
+	OpLt                     // <
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpEq:
+		return "="
+	case OpContains:
+		return "~="
+	case OpGe:
+		return ">="
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpLt:
+		return "<"
+	default:
+		return "?"
+	}
+}
+
+// Assertion is a single attribute comparison.
+type Assertion struct {
+	Attr  string
+	Op    Op
+	Value string
+}
+
+// Match implements Filter.
+func (a *Assertion) Match(attrs Attrs) bool {
+	vals := attrs[a.Attr]
+	if a.Op == OpEq && a.Value == "*" {
+		return len(vals) > 0
+	}
+	for _, v := range vals {
+		if a.matchValue(v) {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *Assertion) matchValue(v string) bool {
+	switch a.Op {
+	case OpEq:
+		if strings.ContainsRune(a.Value, '*') {
+			return wildcardMatch(a.Value, v)
+		}
+		if strings.EqualFold(v, a.Value) {
+			return true
+		}
+		// Word-level equality: "(title=blue)" matches "Kind of Blue".
+		// This mirrors how the metadata index tokenizes values, so a
+		// user searching a single word finds multi-word fields.
+		if !strings.ContainsAny(a.Value, " \t") {
+			for _, w := range strings.Fields(v) {
+				if strings.EqualFold(strings.Trim(w, ",.;:!?\"'()"), a.Value) {
+					return true
+				}
+			}
+		}
+		return false
+	case OpContains:
+		return strings.Contains(strings.ToLower(v), strings.ToLower(a.Value))
+	case OpGe, OpLe, OpGt, OpLt:
+		return compareOrdered(v, a.Value, a.Op)
+	default:
+		return false
+	}
+}
+
+// compareOrdered compares numerically when both operands parse as
+// numbers, lexicographically otherwise.
+func compareOrdered(have, want string, op Op) bool {
+	hf, herr := strconv.ParseFloat(strings.TrimSpace(have), 64)
+	wf, werr := strconv.ParseFloat(strings.TrimSpace(want), 64)
+	var cmp int
+	if herr == nil && werr == nil {
+		switch {
+		case hf < wf:
+			cmp = -1
+		case hf > wf:
+			cmp = 1
+		}
+	} else {
+		cmp = strings.Compare(have, want)
+	}
+	switch op {
+	case OpGe:
+		return cmp >= 0
+	case OpLe:
+		return cmp <= 0
+	case OpGt:
+		return cmp > 0
+	case OpLt:
+		return cmp < 0
+	}
+	return false
+}
+
+// wildcardMatch matches v against a pattern with '*' wildcards,
+// case-insensitively.
+func wildcardMatch(pattern, v string) bool {
+	p := strings.ToLower(pattern)
+	s := strings.ToLower(v)
+	parts := strings.Split(p, "*")
+	if len(parts) == 1 {
+		// No '*' at all: plain case-insensitive equality.
+		return s == p
+	}
+	// Leading segment must prefix; trailing must suffix; middles in order.
+	if !strings.HasPrefix(s, parts[0]) {
+		return false
+	}
+	s = s[len(parts[0]):]
+	last := parts[len(parts)-1]
+	middles := parts[1 : len(parts)-1]
+	for _, m := range middles {
+		if m == "" {
+			continue
+		}
+		i := strings.Index(s, m)
+		if i < 0 {
+			return false
+		}
+		s = s[i+len(m):]
+	}
+	return strings.HasSuffix(s, last)
+}
+
+// String implements Filter.
+func (a *Assertion) String() string {
+	return "(" + a.Attr + a.Op.String() + a.Value + ")"
+}
+
+// Attributes implements Filter.
+func (a *Assertion) Attributes(into []string) []string { return append(into, a.Attr) }
+
+// And is the conjunction of sub-filters.
+type And struct{ Subs []Filter }
+
+// Match implements Filter.
+func (f *And) Match(attrs Attrs) bool {
+	for _, s := range f.Subs {
+		if !s.Match(attrs) {
+			return false
+		}
+	}
+	return true
+}
+
+// String implements Filter.
+func (f *And) String() string { return composite("&", f.Subs) }
+
+// Attributes implements Filter.
+func (f *And) Attributes(into []string) []string { return compositeAttrs(into, f.Subs) }
+
+// Or is the disjunction of sub-filters.
+type Or struct{ Subs []Filter }
+
+// Match implements Filter.
+func (f *Or) Match(attrs Attrs) bool {
+	for _, s := range f.Subs {
+		if s.Match(attrs) {
+			return true
+		}
+	}
+	return false
+}
+
+// String implements Filter.
+func (f *Or) String() string { return composite("|", f.Subs) }
+
+// Attributes implements Filter.
+func (f *Or) Attributes(into []string) []string { return compositeAttrs(into, f.Subs) }
+
+// Not negates a sub-filter.
+type Not struct{ Sub Filter }
+
+// Match implements Filter.
+func (f *Not) Match(attrs Attrs) bool { return !f.Sub.Match(attrs) }
+
+// String implements Filter.
+func (f *Not) String() string { return "(!" + f.Sub.String() + ")" }
+
+// Attributes implements Filter.
+func (f *Not) Attributes(into []string) []string { return f.Sub.Attributes(into) }
+
+// MatchAll matches every object (the empty query).
+type MatchAll struct{}
+
+// Match implements Filter.
+func (MatchAll) Match(Attrs) bool { return true }
+
+// String implements Filter.
+func (MatchAll) String() string { return "(*)" }
+
+// Attributes implements Filter.
+func (MatchAll) Attributes(into []string) []string { return into }
+
+func composite(op string, subs []Filter) string {
+	var b strings.Builder
+	b.WriteByte('(')
+	b.WriteString(op)
+	for _, s := range subs {
+		b.WriteString(s.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+func compositeAttrs(into []string, subs []Filter) []string {
+	for _, s := range subs {
+		into = s.Attributes(into)
+	}
+	return into
+}
+
+// ReferencedAttributes returns the sorted, de-duplicated attribute
+// names a filter touches; the search form uses this to route queries
+// at only-indexed fields.
+func ReferencedAttributes(f Filter) []string {
+	names := f.Attributes(nil)
+	sort.Strings(names)
+	out := names[:0]
+	var prev string
+	for i, n := range names {
+		if i == 0 || n != prev {
+			out = append(out, n)
+		}
+		prev = n
+	}
+	return out
+}
+
+// --- parser ---
+
+// SyntaxError reports a malformed filter string.
+type SyntaxError struct {
+	Src string
+	Pos int
+	Msg string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("query: %s at %d in %q", e.Msg, e.Pos, e.Src)
+}
+
+// ErrEmpty is returned for an empty filter string.
+var ErrEmpty = errors.New("query: empty filter")
+
+// Parse parses a filter expression. A bare "attr=value" (without
+// parentheses) is accepted as shorthand for "(attr=value)". An empty
+// or "(*)" filter matches everything.
+func Parse(src string) (Filter, error) {
+	s := strings.TrimSpace(src)
+	if s == "" {
+		return nil, ErrEmpty
+	}
+	if s == "(*)" || s == "*" {
+		return MatchAll{}, nil
+	}
+	if !strings.HasPrefix(s, "(") {
+		s = "(" + s + ")"
+	}
+	p := &fparser{src: s}
+	f, err := p.parseFilter()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, &SyntaxError{Src: src, Pos: p.pos, Msg: "trailing input"}
+	}
+	return f, nil
+}
+
+// MustParse panics on error; for compiled-in filters.
+func MustParse(src string) Filter {
+	f, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+type fparser struct {
+	src string
+	pos int
+}
+
+func (p *fparser) errf(format string, args ...any) error {
+	return &SyntaxError{Src: p.src, Pos: p.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *fparser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t' || p.src[p.pos] == '\n') {
+		p.pos++
+	}
+}
+
+func (p *fparser) parseFilter() (Filter, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) || p.src[p.pos] != '(' {
+		return nil, p.errf("expected '('")
+	}
+	p.pos++
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return nil, p.errf("unterminated filter")
+	}
+	switch p.src[p.pos] {
+	case '&', '|':
+		op := p.src[p.pos]
+		p.pos++
+		var subs []Filter
+		for {
+			p.skipSpace()
+			if p.pos < len(p.src) && p.src[p.pos] == ')' {
+				p.pos++
+				break
+			}
+			sub, err := p.parseFilter()
+			if err != nil {
+				return nil, err
+			}
+			subs = append(subs, sub)
+		}
+		if len(subs) == 0 {
+			return nil, p.errf("empty composite filter")
+		}
+		if op == '&' {
+			return &And{Subs: subs}, nil
+		}
+		return &Or{Subs: subs}, nil
+	case '!':
+		p.pos++
+		sub, err := p.parseFilter()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.pos >= len(p.src) || p.src[p.pos] != ')' {
+			return nil, p.errf("expected ')' after negation")
+		}
+		p.pos++
+		return &Not{Sub: sub}, nil
+	case '*':
+		// "(*)" match-all as a sub-filter.
+		p.pos++
+		p.skipSpace()
+		if p.pos >= len(p.src) || p.src[p.pos] != ')' {
+			return nil, p.errf("expected ')' after '*'")
+		}
+		p.pos++
+		return MatchAll{}, nil
+	default:
+		return p.parseAssertion()
+	}
+}
+
+func (p *fparser) parseAssertion() (Filter, error) {
+	start := p.pos
+	for p.pos < len(p.src) && !strings.ContainsRune("=<>~()", rune(p.src[p.pos])) {
+		p.pos++
+	}
+	attr := strings.TrimSpace(p.src[start:p.pos])
+	if attr == "" {
+		return nil, p.errf("missing attribute name")
+	}
+	if p.pos >= len(p.src) {
+		return nil, p.errf("missing operator")
+	}
+	var op Op
+	switch p.src[p.pos] {
+	case '=':
+		op = OpEq
+		p.pos++
+	case '~':
+		if p.pos+1 >= len(p.src) || p.src[p.pos+1] != '=' {
+			return nil, p.errf("expected '~='")
+		}
+		op = OpContains
+		p.pos += 2
+	case '>':
+		if p.pos+1 < len(p.src) && p.src[p.pos+1] == '=' {
+			op = OpGe
+			p.pos += 2
+		} else {
+			op = OpGt
+			p.pos++
+		}
+	case '<':
+		if p.pos+1 < len(p.src) && p.src[p.pos+1] == '=' {
+			op = OpLe
+			p.pos += 2
+		} else {
+			op = OpLt
+			p.pos++
+		}
+	default:
+		return nil, p.errf("expected operator, got %q", p.src[p.pos])
+	}
+	vstart := p.pos
+	depth := 0
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == '(' {
+			depth++
+		}
+		if c == ')' {
+			if depth == 0 {
+				break
+			}
+			depth--
+		}
+		p.pos++
+	}
+	if p.pos >= len(p.src) {
+		return nil, p.errf("unterminated assertion")
+	}
+	value := strings.TrimSpace(p.src[vstart:p.pos])
+	p.pos++ // consume ')'
+	return &Assertion{Attr: attr, Op: op, Value: value}, nil
+}

@@ -1,0 +1,216 @@
+// Package schemagen implements the paper's §VI future-work tool: "a
+// web-based tool for generating XML Schema ... to hide the underlying
+// XML completely from the user." A community designer lists fields in
+// a one-line-each plain syntax; the package emits a valid community
+// schema (with searchable/attachment markers) ready for
+// core.CommunitySpec.
+//
+// Field syntax, one per line:
+//
+//	name            type        flags
+//	title           string      searchable
+//	genre           enum(jazz,rock,folk)  searchable
+//	year            integer     optional searchable
+//	tracks          string      repeated
+//	audio           anyURI      optional attachment
+//
+// Types: string, integer, decimal, boolean, date, anyURI, or
+// enum(v1,v2,...). Flags: searchable, optional, repeated, attachment.
+package schemagen
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Field is one declared field of the schema being built.
+type Field struct {
+	Name       string
+	Type       string   // string|integer|decimal|boolean|date|anyURI
+	Enum       []string // non-empty for enum fields
+	Searchable bool
+	Optional   bool
+	Repeated   bool
+	Attachment bool
+}
+
+// Spec is the input to Generate.
+type Spec struct {
+	// RootName is the shared object's element name ("song", "recipe").
+	RootName string
+	Fields   []Field
+}
+
+// Errors.
+var (
+	ErrNoRoot   = errors.New("schemagen: root element name required")
+	ErrNoFields = errors.New("schemagen: at least one field required")
+	ErrBadName  = errors.New("schemagen: invalid name")
+	ErrBadType  = errors.New("schemagen: unsupported type")
+	ErrDupField = errors.New("schemagen: duplicate field")
+)
+
+var simpleTypes = map[string]string{
+	"string":  "xsd:string",
+	"integer": "xsd:integer",
+	"decimal": "xsd:decimal",
+	"boolean": "xsd:boolean",
+	"date":    "xsd:date",
+	"anyURI":  "xsd:anyURI",
+	"anyuri":  "xsd:anyURI",
+}
+
+// Generate emits the XML Schema text for a spec.
+func Generate(spec Spec) (string, error) {
+	if !validName(spec.RootName) {
+		if spec.RootName == "" {
+			return "", ErrNoRoot
+		}
+		return "", fmt.Errorf("%w: %q", ErrBadName, spec.RootName)
+	}
+	if len(spec.Fields) == 0 {
+		return "", ErrNoFields
+	}
+	seen := map[string]bool{}
+	var body strings.Builder
+	var enums strings.Builder
+	for _, f := range spec.Fields {
+		if !validName(f.Name) {
+			return "", fmt.Errorf("%w: %q", ErrBadName, f.Name)
+		}
+		if seen[f.Name] {
+			return "", fmt.Errorf("%w: %q", ErrDupField, f.Name)
+		}
+		seen[f.Name] = true
+		var typeName string
+		switch {
+		case len(f.Enum) > 0:
+			typeName = f.Name + "Type"
+			fmt.Fprintf(&enums, " <simpleType name=%q>\n  <restriction base=\"string\">\n", typeName)
+			for _, v := range f.Enum {
+				fmt.Fprintf(&enums, "   <enumeration value=%q/>\n", v)
+			}
+			enums.WriteString("  </restriction>\n </simpleType>\n")
+		default:
+			xsdType, ok := simpleTypes[f.Type]
+			if !ok {
+				return "", fmt.Errorf("%w: %q (field %s)", ErrBadType, f.Type, f.Name)
+			}
+			typeName = xsdType
+		}
+		fmt.Fprintf(&body, "    <element name=%q type=%q", f.Name, typeName)
+		if f.Optional {
+			body.WriteString(` minOccurs="0"`)
+		}
+		if f.Repeated {
+			body.WriteString(` maxOccurs="unbounded"`)
+		}
+		if f.Searchable {
+			body.WriteString(` up2p:searchable="true"`)
+		}
+		if f.Attachment {
+			body.WriteString(` up2p:attachment="true"`)
+		}
+		body.WriteString("/>\n")
+	}
+	var out strings.Builder
+	out.WriteString(`<?xml version="1.0"?>` + "\n")
+	out.WriteString(`<schema xmlns="http://www.w3.org/2001/XMLSchema" xmlns:up2p="http://up2p.carleton.ca/ns/community">` + "\n")
+	fmt.Fprintf(&out, " <element name=%q>\n  <complexType>\n   <sequence>\n", spec.RootName)
+	out.WriteString(body.String())
+	out.WriteString("   </sequence>\n  </complexType>\n </element>\n")
+	out.WriteString(enums.String())
+	out.WriteString("</schema>")
+	return out.String(), nil
+}
+
+// ParseSpec parses the plain-text field syntax described in the
+// package comment. The first non-empty line names the root element;
+// each following line declares one field.
+func ParseSpec(src string) (Spec, error) {
+	spec := Spec{}
+	for lineNo, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if spec.RootName == "" {
+			spec.RootName = line
+			continue
+		}
+		f, err := parseFieldLine(line)
+		if err != nil {
+			return Spec{}, fmt.Errorf("line %d: %w", lineNo+1, err)
+		}
+		spec.Fields = append(spec.Fields, f)
+	}
+	if spec.RootName == "" {
+		return Spec{}, ErrNoRoot
+	}
+	if len(spec.Fields) == 0 {
+		return Spec{}, ErrNoFields
+	}
+	return spec, nil
+}
+
+func parseFieldLine(line string) (Field, error) {
+	parts := strings.Fields(line)
+	if len(parts) < 2 {
+		return Field{}, fmt.Errorf("schemagen: field line needs name and type: %q", line)
+	}
+	f := Field{Name: parts[0]}
+	typ := parts[1]
+	if strings.HasPrefix(typ, "enum(") && strings.HasSuffix(typ, ")") {
+		inner := typ[len("enum(") : len(typ)-1]
+		for _, v := range strings.Split(inner, ",") {
+			if v = strings.TrimSpace(v); v != "" {
+				f.Enum = append(f.Enum, v)
+			}
+		}
+		if len(f.Enum) == 0 {
+			return Field{}, fmt.Errorf("schemagen: empty enum in %q", line)
+		}
+	} else {
+		f.Type = typ
+	}
+	for _, flag := range parts[2:] {
+		switch flag {
+		case "searchable":
+			f.Searchable = true
+		case "optional":
+			f.Optional = true
+		case "repeated":
+			f.Repeated = true
+		case "attachment":
+			f.Attachment = true
+		default:
+			return Field{}, fmt.Errorf("schemagen: unknown flag %q", flag)
+		}
+	}
+	return f, nil
+}
+
+// GenerateFromText is ParseSpec followed by Generate.
+func GenerateFromText(src string) (string, error) {
+	spec, err := ParseSpec(src)
+	if err != nil {
+		return "", err
+	}
+	return Generate(spec)
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case i > 0 && (r >= '0' && r <= '9' || r == '-' || r == '.'):
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,90 @@
+package servent
+
+import (
+	"net/http"
+	"net/url"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+)
+
+func TestNewCommunityViaWebTool(t *testing.T) {
+	f := newFixture(t, 1)
+	h := f.handlers[0]
+	// GET shows the tool.
+	rec, body := get(t, h, "/newcommunity")
+	if rec.Code != http.StatusOK || !strings.Contains(body, "textarea") {
+		t.Fatalf("tool page = %d", rec.Code)
+	}
+	// POST with a plain-text field spec: no XML typed by the user.
+	rec = postForm(t, h, "/newcommunity", url.Values{
+		"name":        {"books"},
+		"description": {"book sharing"},
+		"keywords":    {"books reading"},
+		"fields": {`book
+title  string  searchable
+author string  searchable repeated
+year   integer optional`},
+	})
+	if rec.Code != http.StatusSeeOther {
+		t.Fatalf("create = %d: %s", rec.Code, rec.Body.String())
+	}
+	commPath := rec.Header().Get("Location")
+	rec2, page := get(t, h, commPath)
+	if rec2.Code != http.StatusOK {
+		t.Fatalf("community page = %d", rec2.Code)
+	}
+	for _, want := range []string{`name="title"`, `name="author"`, `name="year"`} {
+		if !strings.Contains(page, want) {
+			t.Errorf("generated community form missing %q", want)
+		}
+	}
+	// Publish through the generated form immediately.
+	commID := strings.TrimPrefix(commPath, "/community/")
+	rec3 := postForm(t, h, "/create?community="+commID, url.Values{
+		"title": {"Dune"}, "author": {"Frank Herbert"}, "year": {"1965"},
+	})
+	if rec3.Code != http.StatusSeeOther {
+		t.Errorf("publish into generated community = %d: %s", rec3.Code, rec3.Body.String())
+	}
+	// Bad spec re-renders the form with the error.
+	rec4 := postForm(t, h, "/newcommunity", url.Values{
+		"name": {"x"}, "fields": {"onlyroot"},
+	})
+	if rec4.Code != http.StatusOK || !strings.Contains(rec4.Body.String(), "error") {
+		t.Errorf("bad spec handling = %d", rec4.Code)
+	}
+}
+
+func TestXPathQueryEndpoint(t *testing.T) {
+	f := newFixture(t, 1)
+	sv, h := f.servents[0], f.handlers[0]
+	c, err := sv.CreateCommunity(core.CommunitySpec{Name: "dp", SchemaSrc: corpus.PatternSchemaSrc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range corpus.DesignPatterns(23, 1).Objects {
+		if _, err := sv.Publish(c.ID, o.Doc, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := url.QueryEscape("//pattern[classification='behavioral' and count(participants) > 3]")
+	rec, body := get(t, h, "/xquery?community="+c.ID+"&q="+q)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("xquery = %d: %s", rec.Code, body)
+	}
+	// Observer and Command have 4 participants in the GoF catalogue.
+	if !strings.Contains(body, "Observer") {
+		t.Errorf("xquery results missing Observer:\n%s", body)
+	}
+	if strings.Contains(body, ">Composite<") {
+		t.Error("structural pattern matched behavioral xpath query")
+	}
+	// Bad expression is a client error.
+	rec2, _ := get(t, h, "/xquery?community="+c.ID+"&q="+url.QueryEscape("[[["))
+	if rec2.Code != http.StatusBadRequest {
+		t.Errorf("bad xpath = %d", rec2.Code)
+	}
+}

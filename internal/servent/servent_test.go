@@ -1,0 +1,235 @@
+package servent
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/index"
+	"repro/internal/p2p"
+	"repro/internal/transport"
+)
+
+// fixture: two web servents on one centralized network.
+type fixture struct {
+	handlers []*Handler
+	servents []*core.Servent
+}
+
+func newFixture(t *testing.T, n int) *fixture {
+	t.Helper()
+	net := transport.NewMemNetwork()
+	sep, err := net.Endpoint("server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2p.NewIndexServer(sep)
+	f := &fixture{}
+	for i := 0; i < n; i++ {
+		ep, err := net.Endpoint(transport.PeerID(fmt.Sprintf("peer%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := index.NewStore()
+		sv, err := core.NewServent(p2p.NewCentralizedClient(ep, "server", st), st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.servents = append(f.servents, sv)
+		f.handlers = append(f.handlers, New(sv))
+	}
+	return f
+}
+
+func get(t *testing.T, h http.Handler, path string) (*httptest.ResponseRecorder, string) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec, rec.Body.String()
+}
+
+func postForm(t *testing.T, h http.Handler, path string, form url.Values) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(form.Encode()))
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestHomeListsRootCommunity(t *testing.T) {
+	f := newFixture(t, 1)
+	rec, body := get(t, f.handlers[0], "/")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if !strings.Contains(body, "Community-sharing community") {
+		t.Errorf("home missing root community:\n%s", body)
+	}
+}
+
+func TestCommunityPageShowsGeneratedForms(t *testing.T) {
+	f := newFixture(t, 1)
+	c, err := f.servents[0].CreateCommunity(core.CommunitySpec{
+		Name: "mp3", SchemaSrc: corpus.SongSchemaSrc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, body := get(t, f.handlers[0], "/community/"+c.ID)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	for _, want := range []string{`name="title"`, `name="artist"`, `<select name="genre"`, "up2p-create", "up2p-search"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("community page missing %q", want)
+		}
+	}
+	// Unknown community 404s.
+	rec, _ = get(t, f.handlers[0], "/community/nope")
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("unknown community status = %d", rec.Code)
+	}
+}
+
+func TestCreateSearchViewLoop(t *testing.T) {
+	f := newFixture(t, 2)
+	c, err := f.servents[0].CreateCommunity(core.CommunitySpec{Name: "mp3", SchemaSrc: corpus.SongSchemaSrc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Create through the web form.
+	rec := postForm(t, f.handlers[0], "/create?community="+c.ID, url.Values{
+		"title":  {"So What"},
+		"artist": {"Miles Davis"},
+		"genre":  {"jazz"},
+	})
+	if rec.Code != http.StatusSeeOther {
+		t.Fatalf("create status = %d: %s", rec.Code, rec.Body.String())
+	}
+	viewPath := rec.Header().Get("Location")
+	if !strings.HasPrefix(viewPath, "/view?doc=") {
+		t.Fatalf("redirect = %q", viewPath)
+	}
+	// View renders the object.
+	rec2, body := get(t, f.handlers[0], viewPath)
+	if rec2.Code != http.StatusOK || !strings.Contains(body, "So What") {
+		t.Errorf("view = %d:\n%s", rec2.Code, body)
+	}
+	// Search from the same servent through the web form.
+	_, results := get(t, f.handlers[0], "/search?community="+c.ID+"&artist=Miles+Davis")
+	if !strings.Contains(results, "So What") {
+		t.Errorf("search results missing object:\n%s", results)
+	}
+	// Raw filter-language search.
+	_, results = get(t, f.handlers[0], "/search?community="+c.ID+"&filter="+url.QueryEscape("(genre=jazz)"))
+	if !strings.Contains(results, "So What") {
+		t.Errorf("raw filter search missing object")
+	}
+	// Invalid create rejected with a client error.
+	rec3 := postForm(t, f.handlers[0], "/create?community="+c.ID, url.Values{
+		"title": {"X"}, "artist": {"Y"}, "genre": {"polka"},
+	})
+	if rec3.Code != http.StatusBadRequest {
+		t.Errorf("bad enum create status = %d", rec3.Code)
+	}
+}
+
+func TestDiscoverAndJoinFlow(t *testing.T) {
+	f := newFixture(t, 2)
+	creator, joiner := f.handlers[0], f.handlers[1]
+	if _, err := f.servents[0].CreateCommunity(core.CommunitySpec{
+		Name: "patterns", Keywords: "gof design", SchemaSrc: corpus.PatternSchemaSrc,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_ = creator
+	// Discover from the second servent.
+	rec, body := get(t, joiner, "/discover?keywords=gof")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("discover = %d", rec.Code)
+	}
+	if !strings.Contains(body, "patterns") || !strings.Contains(body, "/join?doc=") {
+		t.Fatalf("discover page missing community:\n%s", body)
+	}
+	// Extract the join link.
+	i := strings.Index(body, "/join?doc=")
+	j := strings.IndexByte(body[i:], '"')
+	joinURL := strings.ReplaceAll(body[i:i+j], "&amp;", "&")
+	rec2, _ := get(t, joiner, joinURL)
+	if rec2.Code != http.StatusSeeOther {
+		t.Fatalf("join = %d: %s", rec2.Code, rec2.Body.String())
+	}
+	commPath := rec2.Header().Get("Location")
+	rec3, page := get(t, joiner, commPath)
+	if rec3.Code != http.StatusOK || !strings.Contains(page, "patterns") {
+		t.Errorf("joined community page = %d", rec3.Code)
+	}
+}
+
+func TestRetrieveAcrossPeersViaWeb(t *testing.T) {
+	f := newFixture(t, 2)
+	c, err := f.servents[0].CreateCommunity(core.CommunitySpec{Name: "mp3", SchemaSrc: corpus.SongSchemaSrc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := postForm(t, f.handlers[0], "/create?community="+c.ID, url.Values{
+		"title": {"Blue"}, "artist": {"A"}, "genre": {"jazz"},
+	})
+	if rec.Code != http.StatusSeeOther {
+		t.Fatal(rec.Body.String())
+	}
+	// Peer 1 joins then searches and downloads via web handlers.
+	_, body := get(t, f.handlers[1], "/discover?name=mp3")
+	i := strings.Index(body, "/join?doc=")
+	j := strings.IndexByte(body[i:], '"')
+	get(t, f.handlers[1], strings.ReplaceAll(body[i:i+j], "&amp;", "&"))
+
+	_, results := get(t, f.handlers[1], "/search?community="+c.ID+"&title=Blue")
+	if !strings.Contains(results, "/retrieve?doc=") {
+		t.Fatalf("no download link:\n%s", results)
+	}
+	i = strings.Index(results, "/retrieve?doc=")
+	j = strings.IndexByte(results[i:], '"')
+	rec2, _ := get(t, f.handlers[1], strings.ReplaceAll(results[i:i+j], "&amp;", "&"))
+	if rec2.Code != http.StatusSeeOther {
+		t.Fatalf("retrieve = %d: %s", rec2.Code, rec2.Body.String())
+	}
+	// Now locally viewable.
+	rec3, page := get(t, f.handlers[1], rec2.Header().Get("Location"))
+	if rec3.Code != http.StatusOK || !strings.Contains(page, "Blue") {
+		t.Errorf("view after retrieve = %d", rec3.Code)
+	}
+}
+
+func TestAttachmentEndpoint(t *testing.T) {
+	f := newFixture(t, 1)
+	c, err := f.servents[0].CreateCommunity(core.CommunitySpec{Name: "m", SchemaSrc: corpus.SongSchemaSrc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Community attachments (schema etc.) are retrievable.
+	uri := core.AttachmentURI(c.ID, "schema.xsd")
+	rec, body := get(t, f.handlers[0], "/attachment?uri="+url.QueryEscape(uri))
+	if rec.Code != http.StatusOK || !strings.Contains(body, "schema") {
+		t.Errorf("attachment = %d", rec.Code)
+	}
+	rec, _ = get(t, f.handlers[0], "/attachment?uri=missing")
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("missing attachment = %d", rec.Code)
+	}
+}
+
+func TestCreateRequiresPost(t *testing.T) {
+	f := newFixture(t, 1)
+	rec, _ := get(t, f.handlers[0], "/create?community=x")
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET create = %d", rec.Code)
+	}
+}

@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/p2p"
+	"repro/internal/query"
+)
+
+func TestFastTrackClusterEndToEnd(t *testing.T) {
+	c, err := NewCluster(Config{Peers: 12, Protocol: FastTrack, SuperPeers: 3, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comm, err := c.SeedCommunity(0, spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined, err := c.DiscoverAndJoinAll("patterns", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if joined != 12 {
+		t.Fatalf("joined = %d, want 12", joined)
+	}
+	objs := corpus.DesignPatterns(23, 1).Objects
+	if _, err := c.PublishRoundRobin(comm.ID, objs); err != nil {
+		t.Fatal(err)
+	}
+	// Every peer can find an object held by any other peer's leaf.
+	rs, err := c.SearchFrom(11, comm.ID, query.MustParse("(name=Observer)"), p2p.SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 {
+		t.Errorf("Observer hits = %d", len(rs))
+	}
+	// Retrieval works leaf to leaf.
+	if _, err := c.Servents[11].Retrieve(rs[0].DocID, rs[0].Provider); err != nil {
+		t.Errorf("retrieve: %v", err)
+	}
+}
+
+func TestFastTrackCostBetweenExtremes(t *testing.T) {
+	// The hybrid's message cost per query should sit between
+	// centralized (2) and full Gnutella flooding at equal N.
+	const peers = 32
+	cost := func(proto Protocol) float64 {
+		c, err := NewCluster(Config{Peers: peers, Protocol: proto, Degree: 4, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		comm, err := c.SeedCommunity(0, spec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.DiscoverAndJoinAll("patterns", peers); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.PublishRoundRobin(comm.ID, corpus.DesignPatterns(23, 7).Objects); err != nil {
+			t.Fatal(err)
+		}
+		c.ResetStats()
+		const q = 5
+		for i := 0; i < q; i++ {
+			if _, err := c.SearchFrom(i, comm.ID, query.MustParse("(classification=behavioral)"), p2p.SearchOptions{TTL: 7}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return float64(c.Stats().Messages) / q
+	}
+	central := cost(Centralized)
+	ft := cost(FastTrack)
+	gnutella := cost(Gnutella)
+	if !(central < ft && ft < gnutella) {
+		t.Errorf("cost ordering violated: centralized=%v fasttrack=%v gnutella=%v", central, ft, gnutella)
+	}
+}
+
+func TestFastTrackKillLeaf(t *testing.T) {
+	c, err := NewCluster(Config{Peers: 6, Protocol: FastTrack, SuperPeers: 2, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comm, err := c.SeedCommunity(0, spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.DiscoverAndJoinAll("patterns", 7); err != nil {
+		t.Fatal(err)
+	}
+	obj := corpus.DesignPatterns(1, 8).Objects[0]
+	if _, err := c.Servents[3].Publish(comm.ID, obj.Doc.Clone(), nil); err != nil {
+		t.Fatal(err)
+	}
+	c.KillPeer(3)
+	rs, err := c.SearchFrom(0, comm.ID, query.MustParse("(name=*)"), p2p.SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 0 {
+		t.Errorf("dead leaf's objects still indexed: %+v", rs)
+	}
+}

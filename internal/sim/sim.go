@@ -1,0 +1,310 @@
+// Package sim assembles multi-peer U-P2P deployments on the in-memory
+// network for the repeatable experiments of EXPERIMENTS.md: N servents
+// over either protocol, seeded overlay topologies, workload drivers
+// and message accounting.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/index"
+	"repro/internal/p2p"
+	"repro/internal/query"
+	"repro/internal/transport"
+)
+
+// Protocol selects the network layer under the servents.
+type Protocol int
+
+// Supported protocols (the two named in Fig. 3 that the paper's
+// prototype targets).
+const (
+	Centralized Protocol = iota + 1
+	Gnutella
+	// FastTrack is the super-peer hybrid: leaves register with a
+	// super-peer; queries flood the (small) super-peer overlay.
+	FastTrack
+)
+
+func (p Protocol) String() string {
+	switch p {
+	case Centralized:
+		return "centralized"
+	case Gnutella:
+		return "gnutella"
+	case FastTrack:
+		return "fasttrack"
+	default:
+		return "protocol?"
+	}
+}
+
+// Config describes a cluster to build.
+type Config struct {
+	// Peers is the number of servents.
+	Peers int
+	// Protocol selects centralized vs gnutella.
+	Protocol Protocol
+	// Degree is the Gnutella overlay degree (ring + random chords);
+	// ignored for centralized. Default 4.
+	Degree int
+	// SuperPeers is the number of FastTrack super-peers (default
+	// max(2, Peers/8)); ignored for other protocols.
+	SuperPeers int
+	// Seed drives topology and fault randomness.
+	Seed int64
+	// DropRate is the per-message loss probability.
+	DropRate float64
+	// Latency is the per-hop virtual latency.
+	Latency time.Duration
+}
+
+// Cluster is a running multi-peer deployment.
+type Cluster struct {
+	// Net is the underlying instrumented network.
+	Net *transport.MemNetwork
+	// Server is the central index (nil under Gnutella).
+	Server *p2p.IndexServer
+	// Servents are the peers, index-addressable.
+	Servents []*core.Servent
+
+	nodes  []*p2p.GnutellaNode // parallel to Servents under Gnutella
+	supers []*p2p.SuperPeer    // FastTrack super-peer overlay
+	// leafSuper maps servent index to its super-peer (FastTrack).
+	leafSuper []int
+	rng       *rand.Rand
+}
+
+// NewCluster builds and wires a cluster.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if cfg.Peers <= 0 {
+		return nil, fmt.Errorf("sim: need at least one peer")
+	}
+	if cfg.Degree <= 0 {
+		cfg.Degree = 4
+	}
+	opts := []transport.MemOption{transport.WithSeed(cfg.Seed)}
+	if cfg.DropRate > 0 {
+		opts = append(opts, transport.WithDropRate(cfg.DropRate))
+	}
+	if cfg.Latency > 0 {
+		opts = append(opts, transport.WithFixedLatency(cfg.Latency))
+	}
+	net := transport.NewMemNetwork(opts...)
+	c := &Cluster{Net: net, rng: rand.New(rand.NewSource(cfg.Seed))}
+
+	switch cfg.Protocol {
+	case Centralized:
+		sep, err := net.Endpoint("server")
+		if err != nil {
+			return nil, err
+		}
+		c.Server = p2p.NewIndexServer(sep)
+		for i := 0; i < cfg.Peers; i++ {
+			ep, err := net.Endpoint(peerID(i))
+			if err != nil {
+				return nil, err
+			}
+			st := index.NewStore()
+			client := p2p.NewCentralizedClient(ep, "server", st)
+			sv, err := core.NewServent(client, st)
+			if err != nil {
+				return nil, err
+			}
+			c.Servents = append(c.Servents, sv)
+		}
+	case Gnutella:
+		for i := 0; i < cfg.Peers; i++ {
+			ep, err := net.Endpoint(peerID(i))
+			if err != nil {
+				return nil, err
+			}
+			st := index.NewStore()
+			node := p2p.NewGnutellaNode(ep, st)
+			sv, err := core.NewServent(node, st)
+			if err != nil {
+				return nil, err
+			}
+			c.nodes = append(c.nodes, node)
+			c.Servents = append(c.Servents, sv)
+		}
+		c.wireOverlay(cfg.Degree)
+	case FastTrack:
+		superN := cfg.SuperPeers
+		if superN <= 0 {
+			superN = cfg.Peers / 8
+			if superN < 2 {
+				superN = 2
+			}
+		}
+		for i := 0; i < superN; i++ {
+			ep, err := net.Endpoint(transport.PeerID(fmt.Sprintf("super%03d", i)))
+			if err != nil {
+				return nil, err
+			}
+			c.supers = append(c.supers, p2p.NewSuperPeer(ep))
+		}
+		for i := 0; i < superN; i++ {
+			c.supers[i].AddNeighbor(c.supers[(i+1)%superN].PeerID())
+			c.supers[(i+1)%superN].AddNeighbor(c.supers[i].PeerID())
+		}
+		for i := 0; i < cfg.Peers; i++ {
+			ep, err := net.Endpoint(peerID(i))
+			if err != nil {
+				return nil, err
+			}
+			st := index.NewStore()
+			superIdx := i % superN
+			leaf := p2p.NewFastTrackLeaf(ep, c.supers[superIdx].PeerID(), st)
+			sv, err := core.NewServent(leaf, st)
+			if err != nil {
+				return nil, err
+			}
+			c.Servents = append(c.Servents, sv)
+			c.leafSuper = append(c.leafSuper, superIdx)
+		}
+	default:
+		return nil, fmt.Errorf("sim: unknown protocol %v", cfg.Protocol)
+	}
+	return c, nil
+}
+
+func peerID(i int) transport.PeerID {
+	return transport.PeerID(fmt.Sprintf("peer%03d", i))
+}
+
+// wireOverlay links a ring plus random chords for diameter reduction:
+// deterministic under the cluster seed.
+func (c *Cluster) wireOverlay(degree int) {
+	n := len(c.nodes)
+	if n < 2 {
+		return
+	}
+	link := func(a, b int) {
+		if a == b {
+			return
+		}
+		c.nodes[a].AddNeighbor(c.nodes[b].PeerID())
+		c.nodes[b].AddNeighbor(c.nodes[a].PeerID())
+	}
+	for i := 0; i < n; i++ {
+		link(i, (i+1)%n)
+	}
+	extra := degree - 2
+	for i := 0; i < n && extra > 0; i++ {
+		for k := 0; k < extra; k++ {
+			link(i, c.rng.Intn(n))
+		}
+	}
+}
+
+// Node returns the Gnutella node backing servent i (nil under
+// centralized).
+func (c *Cluster) Node(i int) *p2p.GnutellaNode {
+	if c.nodes == nil {
+		return nil
+	}
+	return c.nodes[i]
+}
+
+// Stats snapshots the network counters.
+func (c *Cluster) Stats() transport.Stats { return c.Net.Stats() }
+
+// ResetStats zeroes the counters between phases.
+func (c *Cluster) ResetStats() { c.Net.ResetStats() }
+
+// SeedCommunity creates a community at the given peer.
+func (c *Cluster) SeedCommunity(creator int, spec core.CommunitySpec) (*core.Community, error) {
+	return c.Servents[creator].CreateCommunity(spec)
+}
+
+// DiscoverAndJoinAll makes every other peer discover the community via
+// a root-community search (the paper's bootstrap) and join it from the
+// providing peer. It returns how many peers joined.
+func (c *Cluster) DiscoverAndJoinAll(name string, ttl int) (int, error) {
+	joined := 0
+	for i, sv := range c.Servents {
+		if has, _ := c.hasCommunityNamed(sv, name); has {
+			joined++
+			continue
+		}
+		rs, err := sv.DiscoverCommunities(query.MustParse("(name="+name+")"), p2p.SearchOptions{TTL: ttl})
+		if err != nil {
+			return joined, fmt.Errorf("sim: peer %d discover: %w", i, err)
+		}
+		if len(rs) == 0 {
+			continue
+		}
+		if _, err := sv.JoinFromNetwork(rs[0]); err != nil {
+			return joined, fmt.Errorf("sim: peer %d join: %w", i, err)
+		}
+		joined++
+	}
+	return joined, nil
+}
+
+func (c *Cluster) hasCommunityNamed(sv *core.Servent, name string) (bool, string) {
+	for _, id := range sv.Joined() {
+		if comm, ok := sv.Community(id); ok && comm.Name == name {
+			return true, id
+		}
+	}
+	return false, ""
+}
+
+// PublishRoundRobin distributes corpus objects across the peers that
+// have joined the community. It returns the published doc IDs aligned
+// with objs.
+func (c *Cluster) PublishRoundRobin(communityID string, objs []corpus.Object) ([]index.DocID, error) {
+	var members []*core.Servent
+	for _, sv := range c.Servents {
+		if sv.IsJoined(communityID) {
+			members = append(members, sv)
+		}
+	}
+	if len(members) == 0 {
+		return nil, fmt.Errorf("sim: no peer joined community %s", communityID)
+	}
+	ids := make([]index.DocID, 0, len(objs))
+	for i, obj := range objs {
+		sv := members[i%len(members)]
+		id, err := sv.Publish(communityID, obj.Doc.Clone(), nil)
+		if err != nil {
+			return nil, fmt.Errorf("sim: publish %d: %w", i, err)
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+// KillPeer detaches a servent abruptly (churn/fault injection): its
+// endpoint closes, the central index drops its registrations, and
+// overlay neighbors unlink it.
+func (c *Cluster) KillPeer(i int) {
+	sv := c.Servents[i]
+	peer := sv.PeerID()
+	_ = sv.Close()
+	if c.Server != nil {
+		c.Server.DropPeer(peer)
+	}
+	if c.leafSuper != nil {
+		c.supers[c.leafSuper[i]].DropLeaf(peer)
+	}
+	for j, node := range c.nodes {
+		if j != i && node != nil {
+			node.RemoveNeighbor(peer)
+		}
+	}
+	if c.nodes != nil {
+		c.nodes[i] = nil
+	}
+}
+
+// SearchFrom runs a community search from peer i.
+func (c *Cluster) SearchFrom(i int, communityID string, f query.Filter, opts p2p.SearchOptions) ([]p2p.Result, error) {
+	return c.Servents[i].Search(communityID, f, opts)
+}

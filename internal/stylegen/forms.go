@@ -1,0 +1,148 @@
+package stylegen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/query"
+	"repro/internal/xmldoc"
+	"repro/internal/xsd"
+)
+
+// BuildObject assembles a schema-valid XML object from submitted form
+// values: the processing behind the generated create form. Keys are
+// slash-joined field paths (as emitted by the create stylesheet and
+// xsd.Fields); repeated fields take multiple values. The result is
+// validated against the schema before being returned.
+func BuildObject(s *xsd.Schema, values map[string][]string) (*xmldoc.Node, error) {
+	if s == nil || s.Root == nil {
+		return nil, fmt.Errorf("stylegen: schema has no root element")
+	}
+	root := xmldoc.NewElement(s.Root.Name)
+	if s.Root.Type == nil || s.Root.Type.Kind != xsd.TypeComplex {
+		// Simple-typed root: single value under the empty path or the
+		// root's own name.
+		v := firstValue(values, "", s.Root.Name)
+		root.AppendChild(xmldoc.NewText(v))
+	} else {
+		buildChildren(root, s.Root.Type, "", values)
+	}
+	if err := s.Validate(root); err != nil {
+		return nil, fmt.Errorf("stylegen: form values invalid: %w", err)
+	}
+	return root, nil
+}
+
+// buildChildren appends child elements for a complex type in schema
+// declaration order, so sequence validation holds.
+func buildChildren(parent *xmldoc.Node, t *xsd.Type, prefix string, values map[string][]string) {
+	for _, decl := range t.Children {
+		path := decl.Name
+		if prefix != "" {
+			path = prefix + "/" + decl.Name
+		}
+		if decl.Type != nil && decl.Type.Kind == xsd.TypeComplex {
+			// Nested complex element: include when any descendant field
+			// has a value, or when required.
+			hasValues := anyWithPrefix(values, path+"/")
+			if !hasValues && decl.MinOccurs == 0 {
+				continue
+			}
+			el := xmldoc.NewElement(decl.Name)
+			buildChildren(el, decl.Type, path, values)
+			parent.AppendChild(el)
+			continue
+		}
+		vals := values[path]
+		if len(vals) == 0 {
+			if decl.MinOccurs == 0 {
+				continue
+			}
+			// Required but missing: emit an empty element so validation
+			// reports the value error rather than a structure error.
+			vals = []string{""}
+		}
+		max := decl.MaxOccurs
+		for i, v := range vals {
+			if max != xsd.Unbounded && i >= max {
+				break
+			}
+			el := xmldoc.NewElement(decl.Name)
+			if v != "" {
+				el.AppendChild(xmldoc.NewText(v))
+			}
+			parent.AppendChild(el)
+		}
+	}
+}
+
+func anyWithPrefix(values map[string][]string, prefix string) bool {
+	for k, vs := range values {
+		if strings.HasPrefix(k, prefix) {
+			for _, v := range vs {
+				if strings.TrimSpace(v) != "" {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func firstValue(values map[string][]string, keys ...string) string {
+	for _, k := range keys {
+		if vs := values[k]; len(vs) > 0 {
+			return vs[0]
+		}
+	}
+	return ""
+}
+
+// BuildFilter converts submitted search-form values into a query
+// filter: non-empty fields become assertions conjoined with AND. A
+// value containing '*' searches by wildcard; values prefixed with the
+// comparison operators >=, <=, >, < compare ordered; everything else
+// is an equality assertion. Empty input yields MatchAll.
+func BuildFilter(values map[string][]string) query.Filter {
+	keys := make([]string, 0, len(values))
+	for k := range values {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var subs []query.Filter
+	for _, k := range keys {
+		for _, v := range values[k] {
+			v = strings.TrimSpace(v)
+			if v == "" {
+				continue
+			}
+			subs = append(subs, fieldAssertion(k, v))
+		}
+	}
+	switch len(subs) {
+	case 0:
+		return query.MatchAll{}
+	case 1:
+		return subs[0]
+	default:
+		return &query.And{Subs: subs}
+	}
+}
+
+func fieldAssertion(attr, v string) query.Filter {
+	switch {
+	case strings.HasPrefix(v, ">="):
+		return &query.Assertion{Attr: attr, Op: query.OpGe, Value: strings.TrimSpace(v[2:])}
+	case strings.HasPrefix(v, "<="):
+		return &query.Assertion{Attr: attr, Op: query.OpLe, Value: strings.TrimSpace(v[2:])}
+	case strings.HasPrefix(v, ">"):
+		return &query.Assertion{Attr: attr, Op: query.OpGt, Value: strings.TrimSpace(v[1:])}
+	case strings.HasPrefix(v, "<"):
+		return &query.Assertion{Attr: attr, Op: query.OpLt, Value: strings.TrimSpace(v[1:])}
+	case strings.HasPrefix(v, "~"):
+		return &query.Assertion{Attr: attr, Op: query.OpContains, Value: strings.TrimSpace(v[1:])}
+	default:
+		return &query.Assertion{Attr: attr, Op: query.OpEq, Value: v}
+	}
+}

@@ -1,0 +1,267 @@
+// Package stylegen holds the default stylesheets and generated
+// transforms that make U-P2P generative (paper Fig. 1/Fig. 2): the
+// create and search stylesheets transform a community's XML Schema
+// into HTML forms, the view stylesheet renders any shared object, and
+// the indexing stylesheet — generated per schema — filters an object's
+// searchable fields into the attribute set submitted to the metadata
+// index ("U-P2P provides default stylesheets that operate on any
+// community schema", §IV.A).
+package stylegen
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/query"
+	"repro/internal/xmldoc"
+	"repro/internal/xsd"
+	"repro/internal/xslt"
+)
+
+// createStylesheetSrc transforms a *schema document* into an HTML
+// create form: one labelled input per leaf element, a <select> when
+// the element's type is an enumerated restriction, fieldsets for
+// nested complex types. Field names are slash-joined paths matching
+// xsd.Fields, carried down via a template parameter.
+const createStylesheetSrc = `
+<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform" version="1.0">
+  <xsl:output method="html"/>
+  <xsl:template match="/">
+    <form class="up2p-create" method="post" action="create">
+      <xsl:apply-templates select="schema/element/complexType/sequence/element | schema/element/complexType/choice/element | schema/element/complexType/all/element">
+        <xsl:with-param name="prefix" select="''"/>
+      </xsl:apply-templates>
+      <input type="submit" value="Create"/>
+    </form>
+  </xsl:template>
+
+  <xsl:template match="element">
+    <xsl:param name="prefix" select="''"/>
+    <xsl:choose>
+      <xsl:when test="complexType">
+        <fieldset>
+          <legend><xsl:value-of select="@name"/></legend>
+          <xsl:apply-templates select="complexType/sequence/element | complexType/choice/element | complexType/all/element">
+            <xsl:with-param name="prefix" select="concat($prefix, @name, '/')"/>
+          </xsl:apply-templates>
+        </fieldset>
+      </xsl:when>
+      <xsl:otherwise>
+        <xsl:call-template name="field">
+          <xsl:with-param name="prefix" select="$prefix"/>
+        </xsl:call-template>
+      </xsl:otherwise>
+    </xsl:choose>
+  </xsl:template>
+
+  <xsl:template name="field">
+    <xsl:param name="prefix" select="''"/>
+    <xsl:variable name="t" select="substring-after(@type, ':')"/>
+    <xsl:variable name="tn" select="@type"/>
+    <div class="up2p-field">
+      <label for="{concat($prefix, @name)}"><xsl:value-of select="@name"/></label>
+      <xsl:choose>
+        <xsl:when test="//simpleType[@name = $tn]/restriction/enumeration">
+          <select name="{concat($prefix, @name)}" id="{concat($prefix, @name)}">
+            <xsl:for-each select="//simpleType[@name = $tn]/restriction/enumeration">
+              <option value="{@value}"><xsl:value-of select="@value"/></option>
+            </xsl:for-each>
+          </select>
+        </xsl:when>
+        <xsl:otherwise>
+          <input type="text" name="{concat($prefix, @name)}" id="{concat($prefix, @name)}" data-type="{$t}"/>
+        </xsl:otherwise>
+      </xsl:choose>
+    </div>
+  </xsl:template>
+</xsl:stylesheet>`
+
+// searchStylesheetSrc is the create form's sibling: same walk over the
+// schema, but every field is optional and the form posts to search.
+const searchStylesheetSrc = `
+<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform" version="1.0">
+  <xsl:output method="html"/>
+  <xsl:template match="/">
+    <form class="up2p-search" method="get" action="search">
+      <xsl:apply-templates select="schema/element/complexType/sequence/element | schema/element/complexType/choice/element | schema/element/complexType/all/element">
+        <xsl:with-param name="prefix" select="''"/>
+      </xsl:apply-templates>
+      <input type="submit" value="Search"/>
+    </form>
+  </xsl:template>
+
+  <xsl:template match="element">
+    <xsl:param name="prefix" select="''"/>
+    <xsl:choose>
+      <xsl:when test="complexType">
+        <fieldset>
+          <legend><xsl:value-of select="@name"/></legend>
+          <xsl:apply-templates select="complexType/sequence/element | complexType/choice/element | complexType/all/element">
+            <xsl:with-param name="prefix" select="concat($prefix, @name, '/')"/>
+          </xsl:apply-templates>
+        </fieldset>
+      </xsl:when>
+      <xsl:otherwise>
+        <div class="up2p-field">
+          <label for="{concat($prefix, @name)}"><xsl:value-of select="@name"/></label>
+          <input type="text" name="{concat($prefix, @name)}" id="{concat($prefix, @name)}" placeholder="any"/>
+        </div>
+      </xsl:otherwise>
+    </xsl:choose>
+  </xsl:template>
+</xsl:stylesheet>`
+
+// viewStylesheetSrc renders any shared object generically: nested
+// elements become sections, leaves become label/value rows. Community
+// designers override this with a custom display stylesheet (§V did,
+// for design patterns).
+const viewStylesheetSrc = `
+<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform" version="1.0">
+  <xsl:output method="html"/>
+  <xsl:template match="/">
+    <div class="up2p-view"><xsl:apply-templates/></div>
+  </xsl:template>
+  <xsl:template match="*">
+    <xsl:choose>
+      <xsl:when test="*">
+        <div class="up2p-section">
+          <h3><xsl:value-of select="local-name()"/></h3>
+          <xsl:apply-templates/>
+        </div>
+      </xsl:when>
+      <xsl:otherwise>
+        <div class="up2p-row">
+          <span class="up2p-label"><xsl:value-of select="local-name()"/></span>
+          <span class="up2p-value"><xsl:value-of select="."/></span>
+        </div>
+      </xsl:otherwise>
+    </xsl:choose>
+  </xsl:template>
+  <xsl:template match="text()"/>
+</xsl:stylesheet>`
+
+// Styles bundles the three presentation stylesheets of a community
+// (Fig. 3's displaystyle/createstyle/searchstyle) plus the generated
+// indexing transform.
+type Styles struct {
+	Create *xslt.Stylesheet
+	Search *xslt.Stylesheet
+	View   *xslt.Stylesheet
+}
+
+// Defaults returns freshly compiled default stylesheets. Compilation
+// of the built-in sources cannot fail; failures panic at startup.
+func Defaults() Styles {
+	return Styles{
+		Create: xslt.MustCompileString(createStylesheetSrc),
+		Search: xslt.MustCompileString(searchStylesheetSrc),
+		View:   xslt.MustCompileString(viewStylesheetSrc),
+	}
+}
+
+// DefaultSources returns the raw XSLT texts, for publishing alongside
+// a community object (communities share their stylesheets).
+func DefaultSources() (create, search, view string) {
+	return createStylesheetSrc, searchStylesheetSrc, viewStylesheetSrc
+}
+
+// CreateFormHTML renders the create form for a schema using the
+// default create stylesheet.
+func CreateFormHTML(s *xsd.Schema) (string, error) {
+	return Defaults().Create.Apply(s.Doc())
+}
+
+// SearchFormHTML renders the search form for a schema.
+func SearchFormHTML(s *xsd.Schema) (string, error) {
+	return Defaults().Search.Apply(s.Doc())
+}
+
+// ViewHTML renders an object with the default view stylesheet.
+func ViewHTML(obj *xmldoc.Node) (string, error) {
+	return Defaults().View.Apply(obj)
+}
+
+// GenerateIndexingStylesheet builds, from a schema, the "Indexed
+// Attribute XSL" of Fig. 1: an XSLT document that filters an object of
+// that community down to its searchable attributes. The community
+// designer can replace it (§V: "The community designer can also
+// control this by implementing a stylesheet to filter indexable
+// attributes").
+func GenerateIndexingStylesheet(s *xsd.Schema) (string, error) {
+	if s == nil || s.Root == nil {
+		return "", fmt.Errorf("stylegen: schema has no root element")
+	}
+	fields := s.SearchableFields()
+	var b strings.Builder
+	b.WriteString(`<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform" version="1.0">` + "\n")
+	b.WriteString("  <xsl:template match=\"/\">\n    <attributes>\n")
+	for _, f := range fields {
+		sel := "/" + s.Root.Name + "/" + f.Path
+		fmt.Fprintf(&b, "      <xsl:for-each select=%q>\n", sel)
+		fmt.Fprintf(&b, "        <attribute name=%q><xsl:value-of select=\"normalize-space(.)\"/></attribute>\n", f.Path)
+		b.WriteString("      </xsl:for-each>\n")
+	}
+	b.WriteString("    </attributes>\n  </xsl:template>\n</xsl:stylesheet>")
+	return b.String(), nil
+}
+
+// Indexer extracts indexed attributes from objects of one community:
+// a compiled indexing stylesheet plus the plumbing to turn its output
+// into query.Attrs.
+type Indexer struct {
+	sheet *xslt.Stylesheet
+	src   string
+}
+
+// NewIndexer compiles the generated indexing stylesheet for a schema.
+func NewIndexer(s *xsd.Schema) (*Indexer, error) {
+	src, err := GenerateIndexingStylesheet(s)
+	if err != nil {
+		return nil, err
+	}
+	sheet, err := xslt.CompileString(src)
+	if err != nil {
+		return nil, fmt.Errorf("stylegen: compile indexing stylesheet: %w", err)
+	}
+	return &Indexer{sheet: sheet, src: src}, nil
+}
+
+// NewIndexerFromSource compiles a custom indexing stylesheet (the §V
+// case study supplies its own).
+func NewIndexerFromSource(src string) (*Indexer, error) {
+	sheet, err := xslt.CompileString(src)
+	if err != nil {
+		return nil, fmt.Errorf("stylegen: compile indexing stylesheet: %w", err)
+	}
+	return &Indexer{sheet: sheet, src: src}, nil
+}
+
+// Source returns the stylesheet text.
+func (ix *Indexer) Source() string { return ix.src }
+
+// Extract runs the indexing transform over an object and returns the
+// attribute set for the metadata index. Empty values are dropped.
+func (ix *Indexer) Extract(obj *xmldoc.Node) (query.Attrs, error) {
+	nodes, err := ix.sheet.ApplyNodes(obj)
+	if err != nil {
+		return nil, fmt.Errorf("stylegen: indexing transform: %w", err)
+	}
+	attrs := query.Attrs{}
+	for _, n := range nodes {
+		if n.Kind != xmldoc.KindElement {
+			continue
+		}
+		n.Walk(func(m *xmldoc.Node) bool {
+			if m.Kind == xmldoc.KindElement && m.LocalName() == "attribute" {
+				name, _ := m.Attr("name")
+				val := strings.TrimSpace(m.Text())
+				if name != "" && val != "" {
+					attrs.Add(name, val)
+				}
+				return false
+			}
+			return true
+		})
+	}
+	return attrs, nil
+}

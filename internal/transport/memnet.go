@@ -1,0 +1,221 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// MemNetwork is a deterministic in-memory network hub. Delivery is
+// synchronous: Send invokes the receiver's handler on the caller's
+// goroutine, so when a flood's initial Send returns, the entire
+// cascade has completed — which makes simulation experiments exact
+// rather than timing-dependent.
+//
+// Fault injection: per-message drop probability (seeded PRNG) and
+// pairwise partitions. A latency model charges virtual time per hop
+// without sleeping; totals are available in Stats.
+type MemNetwork struct {
+	mu        sync.RWMutex
+	endpoints map[PeerID]*memEndpoint
+	rng       *rand.Rand
+	rngMu     sync.Mutex
+	dropRate  float64
+	latency   func(from, to PeerID) time.Duration
+	parts     map[[2]PeerID]bool
+
+	stats   Stats
+	statsMu sync.Mutex
+}
+
+// MemOption configures a MemNetwork.
+type MemOption func(*MemNetwork)
+
+// WithSeed sets the PRNG seed for drop decisions (default 1).
+func WithSeed(seed int64) MemOption {
+	return func(n *MemNetwork) { n.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// WithDropRate sets the probability in [0,1) that any message is lost.
+func WithDropRate(p float64) MemOption {
+	return func(n *MemNetwork) { n.dropRate = p }
+}
+
+// WithLatencyModel sets the per-hop virtual latency function.
+func WithLatencyModel(f func(from, to PeerID) time.Duration) MemOption {
+	return func(n *MemNetwork) { n.latency = f }
+}
+
+// WithFixedLatency charges a constant virtual latency per hop.
+func WithFixedLatency(d time.Duration) MemOption {
+	return WithLatencyModel(func(PeerID, PeerID) time.Duration { return d })
+}
+
+// NewMemNetwork creates an empty hub.
+func NewMemNetwork(opts ...MemOption) *MemNetwork {
+	n := &MemNetwork{
+		endpoints: make(map[PeerID]*memEndpoint),
+		rng:       rand.New(rand.NewSource(1)),
+		parts:     make(map[[2]PeerID]bool),
+	}
+	for _, o := range opts {
+		o(n)
+	}
+	return n
+}
+
+// Endpoint attaches a new peer. Attaching an existing live ID fails.
+func (n *MemNetwork) Endpoint(id PeerID) (Endpoint, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, exists := n.endpoints[id]; exists {
+		return nil, fmt.Errorf("transport: peer %q already attached", id)
+	}
+	ep := &memEndpoint{net: n, id: id}
+	n.endpoints[id] = ep
+	return ep, nil
+}
+
+// Partition blocks traffic between a and b (both directions).
+func (n *MemNetwork) Partition(a, b PeerID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.parts[pairKey(a, b)] = true
+}
+
+// Heal removes a partition between a and b.
+func (n *MemNetwork) Heal(a, b PeerID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.parts, pairKey(a, b))
+}
+
+// Stats returns a copy of the accounting counters.
+func (n *MemNetwork) Stats() Stats {
+	n.statsMu.Lock()
+	defer n.statsMu.Unlock()
+	cp := n.stats
+	cp.PerType = make(map[string]int64, len(n.stats.PerType))
+	for k, v := range n.stats.PerType {
+		cp.PerType[k] = v
+	}
+	return cp
+}
+
+// ResetStats zeroes the counters (between experiment phases).
+func (n *MemNetwork) ResetStats() {
+	n.statsMu.Lock()
+	defer n.statsMu.Unlock()
+	n.stats = Stats{}
+}
+
+// Peers returns the IDs of currently attached peers.
+func (n *MemNetwork) Peers() []PeerID {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]PeerID, 0, len(n.endpoints))
+	for id := range n.endpoints {
+		out = append(out, id)
+	}
+	return out
+}
+
+func pairKey(a, b PeerID) [2]PeerID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]PeerID{a, b}
+}
+
+func (n *MemNetwork) deliver(msg Message) error {
+	n.mu.RLock()
+	dst, ok := n.endpoints[msg.To]
+	partitioned := n.parts[pairKey(msg.From, msg.To)]
+	latFn := n.latency
+	drop := n.dropRate
+	n.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownPeer, msg.To)
+	}
+	if partitioned {
+		return fmt.Errorf("%w: %s <-> %s", ErrPartitioned, msg.From, msg.To)
+	}
+	if drop > 0 {
+		n.rngMu.Lock()
+		lost := n.rng.Float64() < drop
+		n.rngMu.Unlock()
+		if lost {
+			n.statsMu.Lock()
+			n.stats.Dropped++
+			n.statsMu.Unlock()
+			return nil // silent loss, like a real datagram network
+		}
+	}
+	var lat time.Duration
+	if latFn != nil {
+		lat = latFn(msg.From, msg.To)
+	}
+	n.statsMu.Lock()
+	n.stats.Messages++
+	n.stats.Bytes += int64(len(msg.Payload))
+	if n.stats.PerType == nil {
+		n.stats.PerType = make(map[string]int64)
+	}
+	n.stats.PerType[msg.Type]++
+	n.stats.SimulatedLatency += int64(lat)
+	n.statsMu.Unlock()
+
+	dst.mu.RLock()
+	h := dst.handler
+	closed := dst.closed
+	dst.mu.RUnlock()
+	if closed {
+		return fmt.Errorf("%w: %s", ErrClosed, msg.To)
+	}
+	if h != nil {
+		h(msg)
+	}
+	return nil
+}
+
+type memEndpoint struct {
+	net     *MemNetwork
+	id      PeerID
+	mu      sync.RWMutex
+	handler Handler
+	closed  bool
+}
+
+var _ Endpoint = (*memEndpoint)(nil)
+
+func (e *memEndpoint) ID() PeerID { return e.id }
+
+func (e *memEndpoint) Send(msg Message) error {
+	e.mu.RLock()
+	closed := e.closed
+	e.mu.RUnlock()
+	if closed {
+		return ErrClosed
+	}
+	msg.From = e.id
+	return e.net.deliver(msg)
+}
+
+func (e *memEndpoint) SetHandler(h Handler) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.handler = h
+}
+
+func (e *memEndpoint) Synchronous() bool { return true }
+
+func (e *memEndpoint) Close() error {
+	e.mu.Lock()
+	e.closed = true
+	e.mu.Unlock()
+	e.net.mu.Lock()
+	delete(e.net.endpoints, e.id)
+	e.net.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,213 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// maxFrame bounds a single wire frame (16 MiB) so a corrupt length
+// prefix cannot exhaust memory.
+const maxFrame = 16 << 20
+
+// TCPNode is a peer endpoint over real TCP. Frames are a 4-byte
+// big-endian length followed by the JSON-encoded Message. Outbound
+// connections are cached per destination address; inbound messages are
+// dispatched to the handler on per-connection goroutines.
+//
+// Peer addressing: TCP has no directory, so peers are identified by
+// their listen address ("host:port") — PeerID and dial address
+// coincide.
+type TCPNode struct {
+	ln      net.Listener
+	id      PeerID
+	mu      sync.Mutex
+	handler Handler
+	conns   map[PeerID]net.Conn
+	inbound map[net.Conn]struct{}
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+var _ Endpoint = (*TCPNode)(nil)
+
+// ListenTCP starts a node on addr (use "127.0.0.1:0" for an ephemeral
+// port; the assigned address becomes the node's PeerID).
+func ListenTCP(addr string) (*TCPNode, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	n := &TCPNode{
+		ln:      ln,
+		id:      PeerID(ln.Addr().String()),
+		conns:   make(map[PeerID]net.Conn),
+		inbound: make(map[net.Conn]struct{}),
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// ID implements Endpoint.
+func (n *TCPNode) ID() PeerID { return n.id }
+
+// Synchronous implements Endpoint: TCP delivery is asynchronous.
+func (n *TCPNode) Synchronous() bool { return false }
+
+// SetHandler implements Endpoint.
+func (n *TCPNode) SetHandler(h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.handler = h
+}
+
+// Send implements Endpoint. The destination PeerID is its TCP address.
+func (n *TCPNode) Send(msg Message) error {
+	msg.From = n.id
+	conn, err := n.conn(msg.To)
+	if err != nil {
+		return err
+	}
+	data, err := json.Marshal(msg)
+	if err != nil {
+		return fmt.Errorf("transport: encode: %w", err)
+	}
+	if len(data) > maxFrame {
+		return fmt.Errorf("transport: frame too large (%d bytes)", len(data))
+	}
+	var lenbuf [4]byte
+	binary.BigEndian.PutUint32(lenbuf[:], uint32(len(data)))
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return ErrClosed
+	}
+	if _, err := conn.Write(lenbuf[:]); err != nil {
+		n.dropConnLocked(msg.To)
+		return fmt.Errorf("transport: write: %w", err)
+	}
+	if _, err := conn.Write(data); err != nil {
+		n.dropConnLocked(msg.To)
+		return fmt.Errorf("transport: write: %w", err)
+	}
+	return nil
+}
+
+// conn returns a cached or fresh outbound connection.
+func (n *TCPNode) conn(to PeerID) (net.Conn, error) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if c, ok := n.conns[to]; ok {
+		n.mu.Unlock()
+		return c, nil
+	}
+	n.mu.Unlock()
+	c, err := net.Dial("tcp", string(to))
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", to, err)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		c.Close()
+		return nil, ErrClosed
+	}
+	if existing, ok := n.conns[to]; ok {
+		c.Close()
+		return existing, nil
+	}
+	n.conns[to] = c
+	return c, nil
+}
+
+func (n *TCPNode) dropConnLocked(to PeerID) {
+	if c, ok := n.conns[to]; ok {
+		c.Close()
+		delete(n.conns, to)
+	}
+}
+
+func (n *TCPNode) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			conn.Close()
+			return
+		}
+		n.inbound[conn] = struct{}{}
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go n.readLoop(conn)
+	}
+}
+
+func (n *TCPNode) readLoop(conn net.Conn) {
+	defer n.wg.Done()
+	defer func() {
+		conn.Close()
+		n.mu.Lock()
+		delete(n.inbound, conn)
+		n.mu.Unlock()
+	}()
+	r := bufio.NewReader(conn)
+	for {
+		var lenbuf [4]byte
+		if _, err := io.ReadFull(r, lenbuf[:]); err != nil {
+			return
+		}
+		size := binary.BigEndian.Uint32(lenbuf[:])
+		if size > maxFrame {
+			return
+		}
+		data := make([]byte, size)
+		if _, err := io.ReadFull(r, data); err != nil {
+			return
+		}
+		var msg Message
+		if err := json.Unmarshal(data, &msg); err != nil {
+			continue // skip malformed frame, keep the connection
+		}
+		n.mu.Lock()
+		h := n.handler
+		n.mu.Unlock()
+		if h != nil {
+			h(msg)
+		}
+	}
+}
+
+// Close implements Endpoint: stops accepting, closes all connections,
+// and waits for reader goroutines to exit.
+func (n *TCPNode) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	for id, c := range n.conns {
+		c.Close()
+		delete(n.conns, id)
+	}
+	for c := range n.inbound {
+		c.Close()
+	}
+	n.mu.Unlock()
+	err := n.ln.Close()
+	n.wg.Wait()
+	return err
+}

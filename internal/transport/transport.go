@@ -1,0 +1,76 @@
+// Package transport provides message delivery between U-P2P peers.
+//
+// Two implementations share one interface: an in-memory simulated
+// network (deterministic, instrumented with message/byte counters,
+// latency model, drop and partition fault injection — the substrate
+// for the paper-scale experiments) and a real TCP transport
+// (length-prefixed JSON frames) proving the protocol code paths do not
+// depend on the simulator.
+package transport
+
+import (
+	"errors"
+	"fmt"
+)
+
+// PeerID identifies a peer on the network.
+type PeerID string
+
+// Message is one protocol datagram. Payload encoding is the p2p
+// layer's concern (JSON in this implementation).
+type Message struct {
+	From    PeerID `json:"from"`
+	To      PeerID `json:"to"`
+	Type    string `json:"type"`
+	Payload []byte `json:"payload"`
+}
+
+// Handler consumes inbound messages. Handlers must not block
+// indefinitely; they may call Send (transports guarantee this does not
+// deadlock).
+type Handler func(Message)
+
+// Endpoint is one peer's attachment to a network.
+type Endpoint interface {
+	// ID returns the peer's identity on the network.
+	ID() PeerID
+	// Send delivers a message to another peer.
+	Send(msg Message) error
+	// SetHandler installs the inbound message handler. Must be called
+	// before the first message arrives.
+	SetHandler(Handler)
+	// Synchronous reports whether Send returns only after the message
+	// (and everything it transitively triggered) has been handled.
+	// True for the in-memory network; false for TCP.
+	Synchronous() bool
+	// Close detaches the endpoint; subsequent sends to it fail.
+	Close() error
+}
+
+// Common transport errors.
+var (
+	ErrUnknownPeer = errors.New("transport: unknown peer")
+	ErrClosed      = errors.New("transport: endpoint closed")
+	ErrDropped     = errors.New("transport: message dropped")
+	ErrPartitioned = errors.New("transport: peers partitioned")
+)
+
+// Stats is a snapshot of network-wide accounting, the raw material of
+// the protocol-cost experiments (E3).
+type Stats struct {
+	// Messages is the total number of delivered messages.
+	Messages int64
+	// Bytes is the total payload bytes delivered.
+	Bytes int64
+	// Dropped counts messages lost to fault injection.
+	Dropped int64
+	// PerType counts deliveries by message type.
+	PerType map[string]int64
+	// SimulatedLatency is the sum of per-hop model latencies, allowing
+	// mean-hop-latency computation without real sleeping.
+	SimulatedLatency int64 // nanoseconds
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("msgs=%d bytes=%d dropped=%d", s.Messages, s.Bytes, s.Dropped)
+}

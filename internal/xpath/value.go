@@ -1,0 +1,139 @@
+package xpath
+
+import (
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/xmldoc"
+)
+
+// ValueKind discriminates the four XPath value types.
+type ValueKind int
+
+// XPath value kinds.
+const (
+	KindNodeSet ValueKind = iota + 1
+	KindString
+	KindNumber
+	KindBoolean
+)
+
+// Value is the result of evaluating an XPath expression: exactly one
+// of the four XPath 1.0 types.
+type Value struct {
+	Kind  ValueKind
+	Nodes []*xmldoc.Node
+	Str   string
+	Num   float64
+	Bool  bool
+}
+
+// NodeSetValue wraps a node list as a Value.
+func NodeSetValue(nodes []*xmldoc.Node) Value { return Value{Kind: KindNodeSet, Nodes: nodes} }
+
+// StringValue wraps a string as a Value.
+func StringValue(s string) Value { return Value{Kind: KindString, Str: s} }
+
+// NumberValue wraps a float64 as a Value.
+func NumberValue(f float64) Value { return Value{Kind: KindNumber, Num: f} }
+
+// BooleanValue wraps a bool as a Value.
+func BooleanValue(b bool) Value { return Value{Kind: KindBoolean, Bool: b} }
+
+// String converts per the XPath string() rules: the string-value of
+// the first node for node-sets, lexical forms for numbers/booleans.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindString:
+		return v.Str
+	case KindNumber:
+		return formatNumber(v.Num)
+	case KindBoolean:
+		if v.Bool {
+			return "true"
+		}
+		return "false"
+	case KindNodeSet:
+		if len(v.Nodes) == 0 {
+			return ""
+		}
+		return nodeStringValue(v.Nodes[0])
+	default:
+		return ""
+	}
+}
+
+// Number converts per the XPath number() rules.
+func (v Value) Number() float64 {
+	switch v.Kind {
+	case KindNumber:
+		return v.Num
+	case KindBoolean:
+		if v.Bool {
+			return 1
+		}
+		return 0
+	default:
+		return parseNumber(v.String())
+	}
+}
+
+// Boolean converts per the XPath boolean() rules: non-empty node-set,
+// non-empty string, non-zero non-NaN number.
+func (v Value) Boolean() bool {
+	switch v.Kind {
+	case KindBoolean:
+		return v.Bool
+	case KindNodeSet:
+		return len(v.Nodes) > 0
+	case KindString:
+		return v.Str != ""
+	case KindNumber:
+		return v.Num != 0 && !math.IsNaN(v.Num)
+	default:
+		return false
+	}
+}
+
+// nodeStringValue is the XPath string-value of a node: concatenated
+// descendant text for elements, data for text/comment/attribute.
+func nodeStringValue(n *xmldoc.Node) string {
+	switch n.Kind {
+	case xmldoc.KindElement:
+		return n.Text()
+	default:
+		return n.Data
+	}
+}
+
+// formatNumber renders a float per XPath: integers print without a
+// decimal point; NaN prints "NaN".
+func formatNumber(f float64) string {
+	switch {
+	case math.IsNaN(f):
+		return "NaN"
+	case math.IsInf(f, 1):
+		return "Infinity"
+	case math.IsInf(f, -1):
+		return "-Infinity"
+	case f == math.Trunc(f) && math.Abs(f) < 1e15:
+		return strconv.FormatFloat(f, 'f', 0, 64)
+	default:
+		return strconv.FormatFloat(f, 'g', -1, 64)
+	}
+}
+
+// parseNumber implements XPath number(string): leading/trailing space
+// allowed, anything else yields NaN.
+func parseNumber(s string) float64 {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return math.NaN()
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return math.NaN()
+	}
+	return f
+}

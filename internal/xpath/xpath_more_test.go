@@ -1,0 +1,155 @@
+package xpath
+
+import (
+	"testing"
+
+	"repro/internal/xmldoc"
+)
+
+func TestDocumentOrderOfDoubleSlash(t *testing.T) {
+	d := xmldoc.MustParse(`<r><a><v>1</v></a><v>2</v><b><v>3</v></b></r>`)
+	got := MustCompile("//v").Select(d)
+	if len(got) != 3 {
+		t.Fatalf("count = %d", len(got))
+	}
+	for i, want := range []string{"1", "2", "3"} {
+		if got[i].Text() != want {
+			t.Errorf("order[%d] = %q, want %q", i, got[i].Text(), want)
+		}
+	}
+}
+
+func TestUnionPreservesFirstOccurrence(t *testing.T) {
+	d := xmldoc.MustParse(`<r><a/><b/></r>`)
+	got := MustCompile("a|b|a").Select(d)
+	if len(got) != 2 {
+		t.Errorf("union dedup = %d nodes", len(got))
+	}
+}
+
+func TestArithmeticOverNodeValues(t *testing.T) {
+	d := xmldoc.MustParse(`<o><price>10.5</price><qty>3</qty></o>`)
+	if got := MustCompile("price * qty").EvalNumber(d); got != 31.5 {
+		t.Errorf("price*qty = %v", got)
+	}
+	if got := MustCompile("sum(price|qty)").EvalNumber(d); got != 13.5 {
+		t.Errorf("sum = %v", got)
+	}
+}
+
+func TestPredicateChaining(t *testing.T) {
+	d := xmldoc.MustParse(`<l><i k="a">1</i><i k="a">2</i><i k="b">3</i></l>`)
+	got := MustCompile("i[@k='a'][2]").Select(d)
+	if len(got) != 1 || got[0].Text() != "2" {
+		t.Errorf("chained predicates = %v", got)
+	}
+	// Order matters: [2][@k='a'] selects the 2nd item then filters.
+	got = MustCompile("i[2][@k='a']").Select(d)
+	if len(got) != 1 || got[0].Text() != "2" {
+		t.Errorf("reversed chain = %v", got)
+	}
+	got = MustCompile("i[3][@k='a']").Select(d)
+	if len(got) != 0 {
+		t.Errorf("i[3][@k='a'] = %v", got)
+	}
+}
+
+func TestBooleanCoercionsInPredicates(t *testing.T) {
+	d := xmldoc.MustParse(`<l><i><sub/></i><i/></l>`)
+	if got := len(MustCompile("i[sub]").Select(d)); got != 1 {
+		t.Errorf("existence predicate = %d", got)
+	}
+	if got := len(MustCompile("i[not(sub)]").Select(d)); got != 1 {
+		t.Errorf("not-existence predicate = %d", got)
+	}
+}
+
+func TestCountOverDescendants(t *testing.T) {
+	d := xmldoc.MustParse(`<r><p><c/><c/></p><p><c/></p></r>`)
+	if got := MustCompile("count(//c)").EvalNumber(d); got != 3 {
+		t.Errorf("count(//c) = %v", got)
+	}
+	if got := len(MustCompile("p[count(c) = 2]").Select(d)); got != 1 {
+		t.Errorf("count predicate = %d", got)
+	}
+}
+
+func TestStringValueOfComplexElement(t *testing.T) {
+	d := xmldoc.MustParse(`<r><name>Abstract <em>Factory</em> pattern</name></r>`)
+	if got := MustCompile("string(name)").EvalString(d); got != "Abstract Factory pattern" {
+		t.Errorf("string-value = %q", got)
+	}
+	if !MustCompile("contains(name, 'Factory')").EvalBool(d) {
+		t.Error("contains over mixed content failed")
+	}
+}
+
+func TestParentAndAncestorFromDeep(t *testing.T) {
+	d := xmldoc.MustParse(`<a><b><c><d/></c></b></a>`)
+	deep := MustCompile("//d").First(d)
+	if got := MustCompile("../..").First(deep); got == nil || got.Name != "b" {
+		t.Errorf("../.. = %v", got)
+	}
+	if got := len(MustCompile("ancestor::*").Select(deep)); got != 3 {
+		t.Errorf("ancestors = %d", got)
+	}
+}
+
+func TestNumericStringEdgeCases(t *testing.T) {
+	d := xmldoc.NewElement("x")
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"string(0.5)", "0.5"},
+		{"string(-0.5 - 0.5)", "-1"},
+		{"string(2 * 0.5)", "1"},
+		{"substring('12345', 0)", "12345"},
+		{"substring('12345', 1.5, 2.6)", "234"}, // spec example
+		{"normalize-space('')", ""},
+	}
+	for _, c := range cases {
+		if got := MustCompile(c.src).EvalString(d); got != c.want {
+			t.Errorf("%s = %q, want %q", c.src, got, c.want)
+		}
+	}
+}
+
+func TestEmptyNodeSetBehaviours(t *testing.T) {
+	d := xmldoc.MustParse(`<r><a>1</a></r>`)
+	if MustCompile("missing < a").EvalBool(d) {
+		t.Error("empty < nonempty should be false")
+	}
+	if got := MustCompile("string(missing)").EvalString(d); got != "" {
+		t.Errorf("string(empty) = %q", got)
+	}
+	if got := MustCompile("count(missing)").EvalNumber(d); got != 0 {
+		t.Errorf("count(empty) = %v", got)
+	}
+	if MustCompile("missing").EvalBool(d) {
+		t.Error("boolean(empty nodeset) = true")
+	}
+}
+
+func TestSelfAxisWithName(t *testing.T) {
+	d := xmldoc.MustParse(`<r><a/><b/></r>`)
+	nodes := MustCompile("*[self::a]").Select(d)
+	if len(nodes) != 1 || nodes[0].Name != "a" {
+		t.Errorf("self:: filter = %v", nodes)
+	}
+}
+
+func TestFilterExprPredicateOnVariable(t *testing.T) {
+	d := xmldoc.MustParse(`<l><i>1</i><i>2</i><i>3</i></l>`)
+	items := MustCompile("i").Select(d)
+	env := &Env{Vars: map[string]Value{"set": NodeSetValue(items)}}
+	e := MustCompile("$set[2]")
+	v := e.EvalEnv(d, env)
+	if len(v.Nodes) != 1 || v.Nodes[0].Text() != "2" {
+		t.Errorf("$set[2] = %v", v.Nodes)
+	}
+	e2 := MustCompile("count($set)")
+	if got := e2.EvalEnv(d, env).Number(); got != 3 {
+		t.Errorf("count($set) = %v", got)
+	}
+}

@@ -1,0 +1,595 @@
+package xslt
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/xmldoc"
+	"repro/internal/xpath"
+)
+
+// instruction is one compiled step of a template body.
+type instruction interface {
+	exec(ex *executor, ctx *execCtx, out *xmldoc.Node) error
+}
+
+// compileSequence compiles a template body (children of xsl:template
+// or of a compound instruction).
+func compileSequence(nodes []*xmldoc.Node) ([]instruction, error) {
+	var out []instruction
+	for _, n := range nodes {
+		switch n.Kind {
+		case xmldoc.KindText:
+			out = append(out, &literalText{text: n.Data})
+		case xmldoc.KindComment:
+			// Comments in the stylesheet are dropped.
+		case xmldoc.KindElement:
+			ins, err := compileElement(n)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ins)
+		}
+	}
+	return out, nil
+}
+
+func compileElement(n *xmldoc.Node) (instruction, error) {
+	if n.Prefix() != "xsl" {
+		return compileLiteralElement(n)
+	}
+	switch n.LocalName() {
+	case "value-of":
+		sel, err := requiredExpr(n, "select")
+		if err != nil {
+			return nil, err
+		}
+		return &valueOf{sel: sel}, nil
+	case "text":
+		return &literalText{text: n.Text()}, nil
+	case "apply-templates":
+		at := &applyTemplatesIns{}
+		if s, ok := n.Attr("select"); ok {
+			e, err := xpath.Compile(s)
+			if err != nil {
+				return nil, fmt.Errorf("xslt: apply-templates: %w", err)
+			}
+			at.sel = e
+		}
+		var err error
+		at.params, err = compileWithParams(n)
+		if err != nil {
+			return nil, err
+		}
+		at.sorts, err = compileSorts(n)
+		if err != nil {
+			return nil, err
+		}
+		return at, nil
+	case "call-template":
+		name, ok := n.Attr("name")
+		if !ok {
+			return nil, errors.New("xslt: call-template without name")
+		}
+		params, err := compileWithParams(n)
+		if err != nil {
+			return nil, err
+		}
+		return &callTemplate{name: name, params: params}, nil
+	case "for-each":
+		sel, err := requiredExpr(n, "select")
+		if err != nil {
+			return nil, err
+		}
+		sorts, err := compileSorts(n)
+		if err != nil {
+			return nil, err
+		}
+		body, err := compileSequence(withoutSorts(n.Children))
+		if err != nil {
+			return nil, err
+		}
+		return &forEach{sel: sel, body: body, sorts: sorts}, nil
+	case "if":
+		test, err := requiredExpr(n, "test")
+		if err != nil {
+			return nil, err
+		}
+		body, err := compileSequence(n.Children)
+		if err != nil {
+			return nil, err
+		}
+		return &ifIns{test: test, body: body}, nil
+	case "choose":
+		ch := &choose{}
+		for _, c := range n.Elements() {
+			switch c.LocalName() {
+			case "when":
+				test, err := requiredExpr(c, "test")
+				if err != nil {
+					return nil, err
+				}
+				body, err := compileSequence(c.Children)
+				if err != nil {
+					return nil, err
+				}
+				ch.whens = append(ch.whens, whenClause{test: test, body: body})
+			case "otherwise":
+				body, err := compileSequence(c.Children)
+				if err != nil {
+					return nil, err
+				}
+				ch.otherwise = body
+			default:
+				return nil, fmt.Errorf("xslt: unexpected <%s> in choose", c.Name)
+			}
+		}
+		if len(ch.whens) == 0 {
+			return nil, errors.New("xslt: choose without when")
+		}
+		return ch, nil
+	case "element":
+		name, ok := n.Attr("name")
+		if !ok {
+			return nil, errors.New("xslt: element without name")
+		}
+		avt, err := compileAVT(name)
+		if err != nil {
+			return nil, err
+		}
+		body, err := compileSequence(n.Children)
+		if err != nil {
+			return nil, err
+		}
+		return &elementIns{name: avt, body: body}, nil
+	case "attribute":
+		name, ok := n.Attr("name")
+		if !ok {
+			return nil, errors.New("xslt: attribute without name")
+		}
+		avt, err := compileAVT(name)
+		if err != nil {
+			return nil, err
+		}
+		body, err := compileSequence(n.Children)
+		if err != nil {
+			return nil, err
+		}
+		return &attributeIns{name: avt, body: body}, nil
+	case "copy-of":
+		sel, err := requiredExpr(n, "select")
+		if err != nil {
+			return nil, err
+		}
+		return &copyOf{sel: sel}, nil
+	case "copy":
+		body, err := compileSequence(n.Children)
+		if err != nil {
+			return nil, err
+		}
+		return &copyIns{body: body}, nil
+	case "variable":
+		name, ok := n.Attr("name")
+		if !ok {
+			return nil, errors.New("xslt: variable without name")
+		}
+		v := &variableIns{name: name}
+		if s, ok := n.Attr("select"); ok {
+			e, err := xpath.Compile(s)
+			if err != nil {
+				return nil, fmt.Errorf("xslt: variable %s: %w", name, err)
+			}
+			v.sel = e
+		} else {
+			body, err := compileSequence(n.Children)
+			if err != nil {
+				return nil, err
+			}
+			v.body = body
+		}
+		return v, nil
+	case "comment", "processing-instruction", "message":
+		// Harmless output-side instructions we do not model.
+		return &noop{}, nil
+	default:
+		return nil, fmt.Errorf("xslt: unsupported instruction xsl:%s", n.LocalName())
+	}
+}
+
+func compileLiteralElement(n *xmldoc.Node) (instruction, error) {
+	le := &literalElement{name: n.Name}
+	for _, a := range n.Attrs {
+		avt, err := compileAVT(a.Value)
+		if err != nil {
+			return nil, fmt.Errorf("xslt: attribute %s: %w", a.Name, err)
+		}
+		le.attrs = append(le.attrs, avtAttr{name: a.Name, value: avt})
+	}
+	body, err := compileSequence(n.Children)
+	if err != nil {
+		return nil, err
+	}
+	le.body = body
+	return le, nil
+}
+
+func compileWithParams(n *xmldoc.Node) ([]withParam, error) {
+	var out []withParam
+	for _, c := range n.ChildrenNamed("with-param") {
+		name, ok := c.Attr("name")
+		if !ok {
+			return nil, errors.New("xslt: with-param without name")
+		}
+		wp := withParam{name: name}
+		if s, ok := c.Attr("select"); ok {
+			e, err := xpath.Compile(s)
+			if err != nil {
+				return nil, fmt.Errorf("xslt: with-param %s: %w", name, err)
+			}
+			wp.sel = e
+		} else {
+			wp.text = strings.TrimSpace(c.Text())
+		}
+		out = append(out, wp)
+	}
+	return out, nil
+}
+
+func compileSorts(n *xmldoc.Node) ([]sortSpec, error) {
+	var out []sortSpec
+	for _, c := range n.ChildrenNamed("sort") {
+		sel := c.AttrDefault("select", ".")
+		e, err := xpath.Compile(sel)
+		if err != nil {
+			return nil, fmt.Errorf("xslt: sort: %w", err)
+		}
+		out = append(out, sortSpec{
+			sel:      e,
+			numeric:  c.AttrDefault("data-type", "text") == "number",
+			reversed: c.AttrDefault("order", "ascending") == "descending",
+		})
+	}
+	return out, nil
+}
+
+func withoutSorts(nodes []*xmldoc.Node) []*xmldoc.Node {
+	out := make([]*xmldoc.Node, 0, len(nodes))
+	for _, n := range nodes {
+		if n.Kind == xmldoc.KindElement && n.Prefix() == "xsl" && n.LocalName() == "sort" {
+			continue
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+func requiredExpr(n *xmldoc.Node, attr string) (*xpath.Expr, error) {
+	v, ok := n.Attr(attr)
+	if !ok {
+		return nil, fmt.Errorf("xslt: %s requires %s attribute", n.Name, attr)
+	}
+	e, err := xpath.Compile(v)
+	if err != nil {
+		return nil, fmt.Errorf("xslt: %s: %w", n.Name, err)
+	}
+	return e, nil
+}
+
+// --- attribute value templates ---
+
+// avt is a compiled attribute value template: literal segments
+// interleaved with XPath expressions written as {expr}.
+type avt struct {
+	segments []avtSegment
+}
+
+type avtSegment struct {
+	literal string
+	expr    *xpath.Expr // nil for literal segments
+}
+
+func compileAVT(src string) (*avt, error) {
+	a := &avt{}
+	for len(src) > 0 {
+		open := strings.IndexByte(src, '{')
+		if open < 0 {
+			a.segments = append(a.segments, avtSegment{literal: strings.ReplaceAll(src, "}}", "}")})
+			break
+		}
+		// "{{" escapes a literal brace.
+		if open+1 < len(src) && src[open+1] == '{' {
+			a.segments = append(a.segments, avtSegment{literal: src[:open+1]})
+			src = src[open+2:]
+			continue
+		}
+		if open > 0 {
+			a.segments = append(a.segments, avtSegment{literal: strings.ReplaceAll(src[:open], "}}", "}")})
+		}
+		closeIdx := strings.IndexByte(src[open:], '}')
+		if closeIdx < 0 {
+			return nil, fmt.Errorf("xslt: unterminated '{' in AVT %q", src)
+		}
+		exprSrc := src[open+1 : open+closeIdx]
+		e, err := xpath.Compile(exprSrc)
+		if err != nil {
+			return nil, fmt.Errorf("xslt: AVT %q: %w", src, err)
+		}
+		a.segments = append(a.segments, avtSegment{expr: e})
+		src = src[open+closeIdx+1:]
+	}
+	return a, nil
+}
+
+func (a *avt) eval(ctx *execCtx) string {
+	var b strings.Builder
+	for _, s := range a.segments {
+		if s.expr != nil {
+			b.WriteString(s.expr.EvalEnv(ctx.node, ctx.env()).String())
+			continue
+		}
+		b.WriteString(s.literal)
+	}
+	return b.String()
+}
+
+// --- instruction implementations ---
+
+type noop struct{}
+
+func (*noop) exec(*executor, *execCtx, *xmldoc.Node) error { return nil }
+
+type literalText struct{ text string }
+
+func (i *literalText) exec(_ *executor, _ *execCtx, out *xmldoc.Node) error {
+	out.AppendChild(xmldoc.NewText(i.text))
+	return nil
+}
+
+type valueOf struct{ sel *xpath.Expr }
+
+func (i *valueOf) exec(_ *executor, ctx *execCtx, out *xmldoc.Node) error {
+	s := i.sel.EvalEnv(ctx.node, ctx.env()).String()
+	if s != "" {
+		out.AppendChild(xmldoc.NewText(s))
+	}
+	return nil
+}
+
+type withParam struct {
+	name string
+	sel  *xpath.Expr
+	text string
+}
+
+func evalParams(ctx *execCtx, params []withParam) map[string]xpath.Value {
+	if len(params) == 0 {
+		return nil
+	}
+	out := make(map[string]xpath.Value, len(params))
+	for _, p := range params {
+		if p.sel != nil {
+			out[p.name] = p.sel.EvalEnv(ctx.node, ctx.env())
+			continue
+		}
+		out[p.name] = xpath.StringValue(p.text)
+	}
+	return out
+}
+
+type applyTemplatesIns struct {
+	sel    *xpath.Expr
+	params []withParam
+	sorts  []sortSpec
+}
+
+func (i *applyTemplatesIns) exec(ex *executor, ctx *execCtx, out *xmldoc.Node) error {
+	var nodes []*xmldoc.Node
+	if i.sel != nil {
+		v := i.sel.EvalEnv(ctx.node, ctx.env())
+		if v.Kind != xpath.KindNodeSet {
+			return fmt.Errorf("xslt: apply-templates select %q is not a node-set", i.sel.Source())
+		}
+		nodes = v.Nodes
+	} else {
+		nodes = ctx.node.Children
+	}
+	nodes = sortNodes(nodes, i.sorts, ctx.env())
+	return ex.applyTemplates(ctx, nodes, out, evalParams(ctx, i.params))
+}
+
+type callTemplate struct {
+	name   string
+	params []withParam
+}
+
+func (i *callTemplate) exec(ex *executor, ctx *execCtx, out *xmldoc.Node) error {
+	t, ok := ex.sheet.named[i.name]
+	if !ok {
+		return fmt.Errorf("xslt: call-template: no template named %q", i.name)
+	}
+	if ctx.depth > maxDepth {
+		return ErrTooDeep
+	}
+	sub := ctx.child(ctx.node, ctx.pos, ctx.size)
+	return ex.invoke(sub, t, out, evalParams(ctx, i.params))
+}
+
+type forEach struct {
+	sel   *xpath.Expr
+	body  []instruction
+	sorts []sortSpec
+}
+
+func (i *forEach) exec(ex *executor, ctx *execCtx, out *xmldoc.Node) error {
+	v := i.sel.EvalEnv(ctx.node, ctx.env())
+	if v.Kind != xpath.KindNodeSet {
+		return fmt.Errorf("xslt: for-each select %q is not a node-set", i.sel.Source())
+	}
+	nodes := sortNodes(v.Nodes, i.sorts, ctx.env())
+	for idx, n := range nodes {
+		sub := ctx.child(n, idx+1, len(nodes))
+		if err := execAll(ex, sub, i.body, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type ifIns struct {
+	test *xpath.Expr
+	body []instruction
+}
+
+func (i *ifIns) exec(ex *executor, ctx *execCtx, out *xmldoc.Node) error {
+	if i.test.EvalEnv(ctx.node, ctx.env()).Boolean() {
+		return execAll(ex, ctx, i.body, out)
+	}
+	return nil
+}
+
+type whenClause struct {
+	test *xpath.Expr
+	body []instruction
+}
+
+type choose struct {
+	whens     []whenClause
+	otherwise []instruction
+}
+
+func (i *choose) exec(ex *executor, ctx *execCtx, out *xmldoc.Node) error {
+	for _, w := range i.whens {
+		if w.test.EvalEnv(ctx.node, ctx.env()).Boolean() {
+			return execAll(ex, ctx, w.body, out)
+		}
+	}
+	if i.otherwise != nil {
+		return execAll(ex, ctx, i.otherwise, out)
+	}
+	return nil
+}
+
+type elementIns struct {
+	name *avt
+	body []instruction
+}
+
+func (i *elementIns) exec(ex *executor, ctx *execCtx, out *xmldoc.Node) error {
+	el := xmldoc.NewElement(i.name.eval(ctx))
+	if err := execAll(ex, ctx, i.body, el); err != nil {
+		return err
+	}
+	out.AppendChild(el)
+	return nil
+}
+
+type attributeIns struct {
+	name *avt
+	body []instruction
+}
+
+func (i *attributeIns) exec(ex *executor, ctx *execCtx, out *xmldoc.Node) error {
+	tmp := xmldoc.NewElement("#attr")
+	if err := execAll(ex, ctx, i.body, tmp); err != nil {
+		return err
+	}
+	out.SetAttr(i.name.eval(ctx), tmp.Text())
+	return nil
+}
+
+type copyOf struct{ sel *xpath.Expr }
+
+func (i *copyOf) exec(_ *executor, ctx *execCtx, out *xmldoc.Node) error {
+	v := i.sel.EvalEnv(ctx.node, ctx.env())
+	if v.Kind != xpath.KindNodeSet {
+		out.AppendChild(xmldoc.NewText(v.String()))
+		return nil
+	}
+	for _, n := range v.Nodes {
+		if n.Kind == xmldoc.KindAttribute {
+			out.SetAttr(n.Name, n.Data)
+			continue
+		}
+		out.AppendChild(n.Clone())
+	}
+	return nil
+}
+
+type copyIns struct{ body []instruction }
+
+func (i *copyIns) exec(ex *executor, ctx *execCtx, out *xmldoc.Node) error {
+	n := ctx.node
+	switch n.Kind {
+	case xmldoc.KindElement:
+		if n.Name == "#document" {
+			// Copying the (virtual) document node copies its content.
+			return execAll(ex, ctx, i.body, out)
+		}
+		el := xmldoc.NewElement(n.Name)
+		if err := execAll(ex, ctx, i.body, el); err != nil {
+			return err
+		}
+		out.AppendChild(el)
+	case xmldoc.KindText:
+		out.AppendChild(xmldoc.NewText(n.Data))
+	case xmldoc.KindAttribute:
+		out.SetAttr(n.Name, n.Data)
+	}
+	return nil
+}
+
+type variableIns struct {
+	name string
+	sel  *xpath.Expr
+	body []instruction
+}
+
+func (i *variableIns) exec(ex *executor, ctx *execCtx, out *xmldoc.Node) error {
+	if i.sel != nil {
+		ctx.vars[i.name] = i.sel.EvalEnv(ctx.node, ctx.env())
+		return nil
+	}
+	tmp := xmldoc.NewElement("#var")
+	if err := execAll(ex, ctx, i.body, tmp); err != nil {
+		return err
+	}
+	ctx.vars[i.name] = xpath.StringValue(tmp.Text())
+	return nil
+}
+
+type avtAttr struct {
+	name  string
+	value *avt
+}
+
+type literalElement struct {
+	name  string
+	attrs []avtAttr
+	body  []instruction
+}
+
+func (i *literalElement) exec(ex *executor, ctx *execCtx, out *xmldoc.Node) error {
+	el := xmldoc.NewElement(i.name)
+	for _, a := range i.attrs {
+		el.SetAttr(a.name, a.value.eval(ctx))
+	}
+	if err := execAll(ex, ctx, i.body, el); err != nil {
+		return err
+	}
+	out.AppendChild(el)
+	return nil
+}
+
+// execAll runs a compiled body. Variable scoping: each body gets a
+// fresh scope so xsl:variable bindings do not leak to siblings of the
+// enclosing instruction.
+func execAll(ex *executor, ctx *execCtx, body []instruction, out *xmldoc.Node) error {
+	scope := ctx.withVars()
+	for _, ins := range body {
+		if err := ins.exec(ex, scope, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
