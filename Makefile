@@ -1,0 +1,33 @@
+# Development and CI entry points. CI (.github/workflows/ci.yml) runs
+# exactly these targets, so a green `make ci` locally means a green PR.
+
+GO ?= go
+
+.PHONY: build test race fmt vet bench-smoke ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detect the concurrency-sensitive internal packages (the sharded
+# store and everything that drives it).
+race:
+	$(GO) test -race ./internal/...
+
+# Fail when any file needs gofmt.
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+# Compile-and-run every benchmark once so they cannot rot.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+ci: build fmt vet test race bench-smoke

@@ -1,5 +1,5 @@
 // Command up2pbench runs the experiment suite of EXPERIMENTS.md and
-// prints every table/figure reproduction (F1–F3, E1–E8).
+// prints every table/figure reproduction (F1–F3, E1–E9).
 //
 //	up2pbench            # run everything
 //	up2pbench -run E3    # one experiment
@@ -24,10 +24,26 @@ func main() {
 
 func run() error {
 	var (
-		only = flag.String("run", "", "run a single experiment by ID (F1..F3, E1..E8)")
+		only = flag.String("run", "", "run a single experiment by ID (F1..F3, E1..E9)")
 		list = flag.Bool("list", false, "list experiments and exit")
+		// E9 (store scalability) workload knobs.
+		storeWorkers = flag.Int("store-workers", bench.StoreBenchConfig.Workers,
+			"E9: concurrent store clients")
+		storeShards = flag.Int("store-shards", bench.StoreBenchConfig.Shards,
+			"E9: shard count of the sharded store configurations")
+		storeComms = flag.Int("store-communities", bench.StoreBenchConfig.Communities,
+			"E9: number of seeded communities")
+		storeDocs = flag.Int("store-docs", bench.StoreBenchConfig.DocsPerCommunity,
+			"E9: documents per community")
+		storeOps = flag.Int("store-ops", bench.StoreBenchConfig.OpsPerWorker,
+			"E9: operations per client")
 	)
 	flag.Parse()
+	bench.StoreBenchConfig.Workers = *storeWorkers
+	bench.StoreBenchConfig.Shards = *storeShards
+	bench.StoreBenchConfig.Communities = *storeComms
+	bench.StoreBenchConfig.DocsPerCommunity = *storeDocs
+	bench.StoreBenchConfig.OpsPerWorker = *storeOps
 
 	if *list {
 		for _, r := range bench.All() {

@@ -1,6 +1,6 @@
 // Package bench implements the experiment harness behind
 // EXPERIMENTS.md: one runner per figure (F1–F3) and per quantified
-// claim (E1–E8), each reproducing the corresponding artifact of the
+// claim (E1–E9), each reproducing the corresponding artifact of the
 // paper as a printed table. All runs are seeded and deterministic.
 package bench
 
@@ -11,7 +11,7 @@ import (
 
 // Table is one experiment's output: paper-style rows.
 type Table struct {
-	// ID is the experiment identifier (F1..F3, E1..E8).
+	// ID is the experiment identifier (F1..F3, E1..E9).
 	ID string
 	// Title describes the experiment.
 	Title string
@@ -88,6 +88,7 @@ func All() []Runner {
 		{"E6", "generative pipeline throughput", RunE6},
 		{"E7", "design-pattern case study (§V)", RunE7},
 		{"E8", "protocol independence", RunE8},
+		{"E9", "metadata store scalability: single-lock vs sharded", RunE9},
 	}
 }
 

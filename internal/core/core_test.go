@@ -121,6 +121,74 @@ func TestCreateCommunityAndPublish(t *testing.T) {
 	}
 }
 
+// TestPublishBatchMatchesPublish: the batched ingest path yields the
+// same doc IDs, local store state, and network visibility as
+// one-by-one Publish — on both the publisher and the index server.
+func TestPublishBatchMatchesPublish(t *testing.T) {
+	f := newFixture(t, 2)
+	batcher, single := f.servents[0], f.servents[1]
+	c, err := batcher.CreateCommunity(CommunitySpec{Name: "mp3", SchemaSrc: songSchema})
+	if err != nil {
+		t.Fatalf("create community: %v", err)
+	}
+	found, err := single.DiscoverCommunities(query.MustParse("(name=mp3)"), p2p.SearchOptions{})
+	if err != nil || len(found) == 0 {
+		t.Fatalf("discover = %v, %v", found, err)
+	}
+	if _, err := single.JoinFromNetwork(found[0]); err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	srcs := []string{
+		`<song><title>So What</title><artist>Miles Davis</artist></song>`,
+		`<song><title>Naima</title><artist>John Coltrane</artist></song>`,
+		`<song><title>Footprints</title><artist>Wayne Shorter</artist></song>`,
+	}
+	var objs []*xmldoc.Node
+	for _, src := range srcs {
+		objs = append(objs, xmldoc.MustParse(src))
+	}
+	batchIDs, err := batcher.PublishBatch(c.ID, objs)
+	if err != nil {
+		t.Fatalf("publish batch: %v", err)
+	}
+	if len(batchIDs) != len(objs) {
+		t.Fatalf("batch ids = %d, want %d", len(batchIDs), len(objs))
+	}
+	for i, src := range srcs {
+		id, err := single.Publish(c.ID, xmldoc.MustParse(src), nil)
+		if err != nil {
+			t.Fatalf("publish %d: %v", i, err)
+		}
+		if id != batchIDs[i] {
+			t.Errorf("object %d: batch id %s != single id %s", i, batchIDs[i], id)
+		}
+		if !batcher.Store().Has(batchIDs[i]) {
+			t.Errorf("object %d missing from batcher's store", i)
+		}
+	}
+	// The server indexed the batch: every object searchable, with both
+	// peers as providers.
+	rs, err := batcher.Search(c.ID, query.MustParse("(artist~=miles)"), p2p.SearchOptions{})
+	if err != nil {
+		t.Fatalf("search: %v", err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("results = %+v, want the replica from each peer", rs)
+	}
+
+	// Validation is all-or-nothing: one bad object rejects the batch.
+	_, err = batcher.PublishBatch(c.ID, []*xmldoc.Node{
+		xmldoc.MustParse(`<song><title>OK</title><artist>A</artist></song>`),
+		xmldoc.MustParse(`<song><artist>missing title</artist></song>`),
+	})
+	if err == nil {
+		t.Fatal("batch with invalid object accepted")
+	}
+	if _, err := batcher.PublishBatch("nope", nil); !errors.Is(err, ErrNotJoined) {
+		t.Errorf("unjoined community error = %v", err)
+	}
+}
+
 func TestPublishValidatesAgainstSchema(t *testing.T) {
 	f := newFixture(t, 1)
 	sv := f.servents[0]

@@ -171,6 +171,46 @@ func (s *Servent) Publish(communityID string, obj *xmldoc.Node, attachments map[
 	return docID, nil
 }
 
+// PublishBatch validates, indexes, and publishes many objects of one
+// community as a single batch: one store lock round per shard and (on
+// registration protocols) one register-batch message, instead of one
+// of each per object. It is the bulk-ingest path for corpus seeding
+// and imports; objects with attachments go through Publish. The
+// returned IDs align with objs. Validation is all-or-nothing: a bad
+// object rejects the batch before anything is published.
+func (s *Servent) PublishBatch(communityID string, objs []*xmldoc.Node) ([]index.DocID, error) {
+	s.mu.RLock()
+	c, joined := s.communities[communityID]
+	ix := s.indexers[communityID]
+	s.mu.RUnlock()
+	if !joined {
+		return nil, fmt.Errorf("%w: %s", ErrNotJoined, communityID)
+	}
+	docs := make([]*index.Document, len(objs))
+	ids := make([]index.DocID, len(objs))
+	for i, obj := range objs {
+		if err := c.Schema.Validate(obj); err != nil {
+			return nil, fmt.Errorf("core: publish batch object %d: %w", i, err)
+		}
+		attrs, err := ix.Extract(obj)
+		if err != nil {
+			return nil, fmt.Errorf("core: publish batch object %d: %w", i, err)
+		}
+		ids[i] = DocIDFor(communityID, obj)
+		docs[i] = &index.Document{
+			ID:          ids[i],
+			CommunityID: communityID,
+			Title:       titleFor(obj, attrs),
+			XML:         obj.String(),
+			Attrs:       attrs,
+		}
+	}
+	if err := s.net.PublishBatch(docs); err != nil {
+		return nil, fmt.Errorf("core: publish batch: %w", err)
+	}
+	return ids, nil
+}
+
 // titleFor picks a display title: the first non-empty indexed
 // attribute in a stable order, else the first leaf text, else the
 // element name.

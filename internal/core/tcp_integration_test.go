@@ -56,10 +56,21 @@ func TestCentralizedOverTCP(t *testing.T) {
 		t.Fatalf("publish: %v", err)
 	}
 
+	// Registration is asynchronous over TCP: alice's register frame
+	// races bob's search frame to the server, so poll until the
+	// server has indexed the community (or the deadline passes).
 	opts := p2p.SearchOptions{Timeout: 3 * time.Second}
-	found, err := bob.DiscoverCommunities(query.MustParse("(keywords~=music)"), opts)
-	if err != nil {
-		t.Fatalf("discover over TCP: %v", err)
+	var found []p2p.Result
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		found, err = bob.DiscoverCommunities(query.MustParse("(keywords~=music)"), opts)
+		if err != nil {
+			t.Fatalf("discover over TCP: %v", err)
+		}
+		if len(found) > 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 	if len(found) != 1 {
 		t.Fatalf("found = %+v", found)

@@ -1,0 +1,96 @@
+package index
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is one shard's LRU of materialized query results. An
+// entry remembers the shard write generation it was computed under;
+// get treats an entry from an older generation as a miss and evicts
+// it, so shard writers invalidate the whole cache with one integer
+// increment instead of a sweep.
+//
+// The cache stores canonical document pointers. That is safe because
+// stored Documents are immutable once installed — Put replaces the
+// pointer, never mutates — and a generation mismatch prevents a
+// replaced document from ever being served. Callers clone on the way
+// out (Store.Search), preserving the store's defensive-copy contract.
+type resultCache struct {
+	mu     sync.Mutex
+	cap    int
+	ll     *list.List // front = most recently used
+	m      map[string]*list.Element
+	hits   uint64
+	misses uint64
+}
+
+type cacheEntry struct {
+	key  string
+	gen  uint64
+	docs []*Document
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap: capacity,
+		ll:  list.New(),
+		m:   make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached result for key if it was computed under the
+// current generation.
+func (c *resultCache) get(key string, gen uint64) ([]*Document, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	e := el.Value.(*cacheEntry)
+	if e.gen != gen {
+		c.ll.Remove(el)
+		delete(c.m, key)
+		c.misses++
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits++
+	return e.docs, true
+}
+
+// put stores a result computed under gen, evicting the least recently
+// used entry when full.
+func (c *resultCache) put(key string, gen uint64, docs []*Document) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		e := el.Value.(*cacheEntry)
+		e.gen = gen
+		e.docs = docs
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, gen: gen, docs: docs})
+	if c.ll.Len() > c.cap {
+		el := c.ll.Back()
+		c.ll.Remove(el)
+		delete(c.m, el.Value.(*cacheEntry).key)
+	}
+}
+
+// stats returns cumulative hit/miss counts.
+func (c *resultCache) stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// entries returns the live entry count (tests only).
+func (c *resultCache) entries() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

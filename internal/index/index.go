@@ -9,12 +9,21 @@
 // Searches evaluate query.Filter expressions; equality assertions are
 // accelerated through the inverted index, everything else scans the
 // community's documents.
+//
+// The store is sharded for concurrency: documents partition across N
+// lock-striped shards by a hash of their community ID, so one
+// community's documents and its slice of the inverted index colocate
+// in a single shard and community-scoped operations contend on exactly
+// one lock. Batch ingest (PutBatch/DeleteBatch) takes each shard lock
+// once per batch, and a small per-shard LRU caches recent query
+// results, invalidated by a per-shard write generation.
 package index
 
 import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -57,26 +66,136 @@ var (
 	ErrNoID     = errors.New("index: document has no ID")
 )
 
-// Store is a thread-safe metadata store with an inverted index.
+// Store tuning defaults.
+const (
+	// DefaultShards is the default lock-stripe count. Sixteen shards
+	// keep per-shard maps small at millions of documents while the
+	// stripe array stays two cache lines of pointers.
+	DefaultShards = 16
+	// DefaultCacheSize is the default per-shard query-result cache
+	// capacity, in cached result sets.
+	DefaultCacheSize = 128
+	// maxCachedResults bounds the size of one cached result set.
+	// Larger results are served uncached: caching them would pin
+	// every returned document (including deleted ones, until LRU
+	// pressure or a same-key lookup evicts the stale entry) for
+	// little win, since huge scans are rarely repeated verbatim.
+	maxCachedResults = 256
+)
+
+// Option configures a Store.
+type Option func(*storeConfig)
+
+type storeConfig struct {
+	shards    int
+	cacheSize int
+}
+
+// WithShards sets the shard count (rounded up to a power of two,
+// minimum 1). One shard degenerates to a single-lock store — the
+// baseline configuration the scaling experiments compare against.
+func WithShards(n int) Option {
+	return func(c *storeConfig) { c.shards = n }
+}
+
+// WithCacheSize sets the per-shard query-result cache capacity in
+// entries; 0 disables result caching.
+func WithCacheSize(n int) Option {
+	return func(c *storeConfig) { c.cacheSize = n }
+}
+
+// Store is a thread-safe sharded metadata store with an inverted
+// index. See the package comment for the sharding design.
 type Store struct {
-	mu sync.RWMutex
-	// docs maps ID to the canonical copy.
-	docs map[DocID]*Document
-	// byCommunity groups documents for community-scoped search.
+	shards []*shard
+	mask   uint32
+	// dir routes DocID-keyed operations (Get/Has/Delete) to the shard
+	// holding the document, so they need not know the community.
+	// DocIDs are content-addressed over (community, content), so an ID
+	// essentially never migrates between communities; sequential
+	// cross-community re-publication of one ID is handled
+	// (evictForeign), but CONCURRENT re-publication of one ID under
+	// two different communities is unsupported — both copies can
+	// survive, with the directory pointing at one of them — and needs
+	// external serialization (the IndexServer serializes registrations
+	// for exactly this reason).
+	dir sync.Map // DocID -> uint32 shard index
+}
+
+// shard holds one stripe of the store: the documents of every
+// community hashing to it, their slice of the inverted index, and a
+// result cache. All fields except cache are guarded by mu; cache has
+// its own internal lock so reads can fill it while holding mu.RLock.
+type shard struct {
+	mu          sync.RWMutex
+	docs        map[DocID]*Document
 	byCommunity map[string]map[DocID]struct{}
 	// inverted maps attr name -> normalized token -> posting set.
 	inverted map[string]map[string]map[DocID]struct{}
 	// postings counts index entries, for the E4 index-size experiment.
 	postings int
+	// gen counts writes to this shard. Cached results remember the gen
+	// they were computed under and are discarded once it moves on, so
+	// writers pay one increment — never a cache sweep.
+	gen   uint64
+	cache *resultCache
 }
 
-// NewStore returns an empty store.
-func NewStore() *Store {
-	return &Store{
-		docs:        make(map[DocID]*Document),
-		byCommunity: make(map[string]map[DocID]struct{}),
-		inverted:    make(map[string]map[string]map[DocID]struct{}),
+// NewStore returns an empty store with the given options (default: 16
+// shards, 128 cached result sets per shard).
+func NewStore(opts ...Option) *Store {
+	cfg := storeConfig{shards: DefaultShards, cacheSize: DefaultCacheSize}
+	for _, o := range opts {
+		o(&cfg)
 	}
+	n := ceilPow2(cfg.shards)
+	s := &Store{shards: make([]*shard, n), mask: uint32(n - 1)}
+	for i := range s.shards {
+		sh := &shard{
+			docs:        make(map[DocID]*Document),
+			byCommunity: make(map[string]map[DocID]struct{}),
+			inverted:    make(map[string]map[string]map[DocID]struct{}),
+		}
+		if cfg.cacheSize > 0 {
+			sh.cache = newResultCache(cfg.cacheSize)
+		}
+		s.shards[i] = sh
+	}
+	return s
+}
+
+// NumShards reports the shard count (for experiments and diagnostics).
+func (s *Store) NumShards() int { return len(s.shards) }
+
+// ceilPow2 rounds n up to the next power of two, minimum 1.
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// shardIndex maps a community to its stripe (FNV-1a).
+func (s *Store) shardIndex(communityID string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(communityID); i++ {
+		h ^= uint32(communityID[i])
+		h *= prime32
+	}
+	return h & s.mask
+}
+
+// shardOf resolves a DocID through the directory; nil if unknown.
+func (s *Store) shardOf(id DocID) *shard {
+	if v, ok := s.dir.Load(id); ok {
+		return s.shards[v.(uint32)]
+	}
+	return nil
 }
 
 // Put inserts or replaces a document. The document is copied; the
@@ -86,82 +205,188 @@ func (s *Store) Put(doc *Document) error {
 		return ErrNoID
 	}
 	cp := doc.clone()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if old, ok := s.docs[cp.ID]; ok {
-		s.unindexLocked(old)
-	}
-	s.docs[cp.ID] = cp
-	comm := s.byCommunity[cp.CommunityID]
-	if comm == nil {
-		comm = make(map[DocID]struct{})
-		s.byCommunity[cp.CommunityID] = comm
-	}
-	comm[cp.ID] = struct{}{}
-	s.indexLocked(cp)
+	idx := s.shardIndex(cp.CommunityID)
+	s.evictForeign(cp.ID, idx)
+	sh := s.shards[idx]
+	sh.mu.Lock()
+	sh.putLocked(cp)
+	s.dir.Store(cp.ID, idx)
+	sh.mu.Unlock()
 	return nil
+}
+
+// PutBatch inserts or replaces many documents, taking each shard lock
+// once per shard instead of once per document — the bulk-ingest path
+// for corpus seeding, snapshot load, and batched publication. The
+// batch is validated up front: on an ID-less document nothing is
+// written. Duplicate IDs within one batch behave like sequential Puts
+// (the last occurrence wins).
+func (s *Store) PutBatch(docs []*Document) error {
+	for _, d := range docs {
+		if d == nil || d.ID == "" {
+			return ErrNoID
+		}
+	}
+	if len(docs) == 0 {
+		return nil
+	}
+	// Dedupe by ID, last occurrence winning, preserving first-seen
+	// order for determinism.
+	order := make([]DocID, 0, len(docs))
+	byID := make(map[DocID]*Document, len(docs))
+	for _, d := range docs {
+		if _, seen := byID[d.ID]; !seen {
+			order = append(order, d.ID)
+		}
+		byID[d.ID] = d
+	}
+	groups := make(map[uint32][]*Document)
+	for _, id := range order {
+		cp := byID[id].clone()
+		idx := s.shardIndex(cp.CommunityID)
+		s.evictForeign(cp.ID, idx)
+		groups[idx] = append(groups[idx], cp)
+	}
+	idxs := make([]uint32, 0, len(groups))
+	for idx := range groups {
+		idxs = append(idxs, idx)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	for _, idx := range idxs {
+		sh := s.shards[idx]
+		sh.mu.Lock()
+		for _, cp := range groups[idx] {
+			sh.putLocked(cp)
+			s.dir.Store(cp.ID, idx)
+		}
+		sh.mu.Unlock()
+	}
+	return nil
+}
+
+// evictForeign removes a previous copy of id living in a shard other
+// than target — the document moved community. Rare: DocIDs embed the
+// community in their content hash.
+func (s *Store) evictForeign(id DocID, target uint32) {
+	v, ok := s.dir.Load(id)
+	if !ok {
+		return
+	}
+	old := v.(uint32)
+	if old == target {
+		return
+	}
+	sh := s.shards[old]
+	sh.mu.Lock()
+	if d, ok := sh.docs[id]; ok {
+		sh.removeLocked(d)
+	}
+	sh.mu.Unlock()
 }
 
 // Get returns a copy of the document.
 func (s *Store) Get(id DocID) (*Document, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	d, ok := s.docs[id]
-	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	if sh := s.shardOf(id); sh != nil {
+		sh.mu.RLock()
+		d, ok := sh.docs[id]
+		if ok {
+			cp := d.clone()
+			sh.mu.RUnlock()
+			return cp, nil
+		}
+		sh.mu.RUnlock()
 	}
-	return d.clone(), nil
+	return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
 }
 
 // Has reports whether the document is stored.
 func (s *Store) Has(id DocID) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	_, ok := s.docs[id]
-	return ok
+	if sh := s.shardOf(id); sh != nil {
+		sh.mu.RLock()
+		_, ok := sh.docs[id]
+		sh.mu.RUnlock()
+		return ok
+	}
+	return false
 }
 
 // Delete removes a document, reporting whether it existed.
 func (s *Store) Delete(id DocID) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	d, ok := s.docs[id]
+	v, ok := s.dir.Load(id)
 	if !ok {
 		return false
 	}
-	s.unindexLocked(d)
-	delete(s.docs, id)
-	if comm := s.byCommunity[d.CommunityID]; comm != nil {
-		delete(comm, id)
-		if len(comm) == 0 {
-			delete(s.byCommunity, d.CommunityID)
+	sh := s.shards[v.(uint32)]
+	sh.mu.Lock()
+	d, present := sh.docs[id]
+	if present {
+		sh.removeLocked(d)
+		s.dir.Delete(id)
+	}
+	sh.mu.Unlock()
+	return present
+}
+
+// DeleteBatch removes many documents, taking each shard lock once per
+// shard. It returns how many of the IDs were present.
+func (s *Store) DeleteBatch(ids []DocID) int {
+	groups := make(map[uint32][]DocID)
+	for _, id := range ids {
+		if v, ok := s.dir.Load(id); ok {
+			idx := v.(uint32)
+			groups[idx] = append(groups[idx], id)
 		}
 	}
-	return true
+	idxs := make([]uint32, 0, len(groups))
+	for idx := range groups {
+		idxs = append(idxs, idx)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	n := 0
+	for _, idx := range idxs {
+		sh := s.shards[idx]
+		sh.mu.Lock()
+		for _, id := range groups[idx] {
+			if d, ok := sh.docs[id]; ok {
+				sh.removeLocked(d)
+				s.dir.Delete(id)
+				n++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // Len returns the number of stored documents.
 func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.docs)
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		n += len(sh.docs)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // CommunityLen returns the number of documents in one community.
 func (s *Store) CommunityLen(communityID string) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.byCommunity[communityID])
+	sh := s.shards[s.shardIndex(communityID)]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return len(sh.byCommunity[communityID])
 }
 
 // Communities returns the IDs of communities with stored documents,
 // sorted.
 func (s *Store) Communities() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]string, 0, len(s.byCommunity))
-	for c := range s.byCommunity {
-		out = append(out, c)
+	var out []string
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for c := range sh.byCommunity {
+			out = append(out, c)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Strings(out)
 	return out
@@ -170,21 +395,100 @@ func (s *Store) Communities() []string {
 // Postings returns the number of inverted-index entries: the measured
 // "index size" of experiment E4.
 func (s *Store) Postings() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.postings
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		n += sh.postings
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// CacheStats reports cumulative query-cache hits and misses across all
+// shards (zero/zero when caching is disabled).
+func (s *Store) CacheStats() (hits, misses uint64) {
+	for _, sh := range s.shards {
+		if sh.cache != nil {
+			h, m := sh.cache.stats()
+			hits += h
+			misses += m
+		}
+	}
+	return hits, misses
 }
 
 // Search returns documents in the community whose indexed attributes
 // satisfy the filter, sorted by ID for determinism. limit <= 0 means
-// unlimited. An empty communityID searches all communities.
+// unlimited. An empty communityID searches all communities (spanning
+// every shard, uncached).
 func (s *Store) Search(communityID string, f query.Filter, limit int) []*Document {
 	if f == nil {
 		f = query.MatchAll{}
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	candidates := s.candidatesLocked(communityID, f)
+	if communityID != "" {
+		sh := s.shards[s.shardIndex(communityID)]
+		return cloneDocs(sh.search(communityID, f, limit))
+	}
+	var all []*Document
+	for _, sh := range s.shards {
+		all = append(all, sh.search("", f, 0)...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
+	if limit > 0 && len(all) > limit {
+		all = all[:limit]
+	}
+	return cloneDocs(all)
+}
+
+// cloneDocs defensively copies a result set; cached canonical
+// documents are never handed to callers directly.
+func cloneDocs(docs []*Document) []*Document {
+	if docs == nil {
+		return nil
+	}
+	out := make([]*Document, len(docs))
+	for i, d := range docs {
+		out[i] = d.clone()
+	}
+	return out
+}
+
+// search runs one community-scoped (or, with "", shard-wide) query
+// against this shard, consulting the result cache first. The returned
+// documents are canonical store pointers — the caller must clone
+// before handing them out.
+func (sh *shard) search(communityID string, f query.Filter, limit int) []*Document {
+	cacheable := sh.cache != nil && communityID != ""
+	var key string
+	if cacheable {
+		key = cacheKey(communityID, f, limit)
+	}
+	sh.mu.RLock()
+	if cacheable {
+		if docs, ok := sh.cache.get(key, sh.gen); ok {
+			sh.mu.RUnlock()
+			return docs
+		}
+	}
+	matches := sh.searchLocked(communityID, f, limit)
+	gen := sh.gen
+	sh.mu.RUnlock()
+	if cacheable && len(matches) <= maxCachedResults {
+		// A write may have slipped in after RUnlock; the entry then
+		// carries a stale gen and the next get treats it as a miss.
+		sh.cache.put(key, gen, matches)
+	}
+	return matches
+}
+
+// cacheKey identifies one materialized query: community, the filter's
+// canonical string form, and the limit.
+func cacheKey(communityID string, f query.Filter, limit int) string {
+	return communityID + "\x00" + f.String() + "\x00" + strconv.Itoa(limit)
+}
+
+func (sh *shard) searchLocked(communityID string, f query.Filter, limit int) []*Document {
+	candidates := sh.candidatesLocked(communityID, f)
 	sort.Slice(candidates, func(i, j int) bool { return candidates[i].ID < candidates[j].ID })
 	var out []*Document
 	for _, d := range candidates {
@@ -194,7 +498,7 @@ func (s *Store) Search(communityID string, f query.Filter, limit int) []*Documen
 		if !f.Match(d.Attrs) {
 			continue
 		}
-		out = append(out, d.clone())
+		out = append(out, d)
 		if limit > 0 && len(out) >= limit {
 			break
 		}
@@ -204,11 +508,11 @@ func (s *Store) Search(communityID string, f query.Filter, limit int) []*Documen
 
 // candidatesLocked narrows the scan set using the inverted index when
 // the filter's top level is (or conjoins) an exact-match assertion.
-func (s *Store) candidatesLocked(communityID string, f query.Filter) []*Document {
-	if ids := s.indexedCandidatesLocked(f); ids != nil {
+func (sh *shard) candidatesLocked(communityID string, f query.Filter) []*Document {
+	if ids := sh.indexedCandidatesLocked(f); ids != nil {
 		out := make([]*Document, 0, len(ids))
 		for id := range ids {
-			if d, ok := s.docs[id]; ok {
+			if d, ok := sh.docs[id]; ok {
 				out = append(out, d)
 			}
 		}
@@ -217,12 +521,12 @@ func (s *Store) candidatesLocked(communityID string, f query.Filter) []*Document
 	// Full community scan.
 	var out []*Document
 	if communityID != "" {
-		for id := range s.byCommunity[communityID] {
-			out = append(out, s.docs[id])
+		for id := range sh.byCommunity[communityID] {
+			out = append(out, sh.docs[id])
 		}
 		return out
 	}
-	for _, d := range s.docs {
+	for _, d := range sh.docs {
 		out = append(out, d)
 	}
 	return out
@@ -231,13 +535,13 @@ func (s *Store) candidatesLocked(communityID string, f query.Filter) []*Document
 // indexedCandidatesLocked returns a candidate ID set when the filter
 // permits index acceleration, or nil to force a scan. Sound but not
 // complete: it may return a superset of matches, never a subset.
-func (s *Store) indexedCandidatesLocked(f query.Filter) map[DocID]struct{} {
+func (sh *shard) indexedCandidatesLocked(f query.Filter) map[DocID]struct{} {
 	switch t := f.(type) {
 	case *query.Assertion:
 		if t.Op != query.OpEq || strings.ContainsRune(t.Value, '*') {
 			return nil
 		}
-		field := s.inverted[t.Attr]
+		field := sh.inverted[t.Attr]
 		if field == nil {
 			return map[DocID]struct{}{}
 		}
@@ -247,7 +551,7 @@ func (s *Store) indexedCandidatesLocked(f query.Filter) map[DocID]struct{} {
 	case *query.And:
 		// Any one accelerable conjunct suffices (superset property).
 		for _, sub := range t.Subs {
-			if ids := s.indexedCandidatesLocked(sub); ids != nil {
+			if ids := sh.indexedCandidatesLocked(sub); ids != nil {
 				return ids
 			}
 		}
@@ -257,12 +561,50 @@ func (s *Store) indexedCandidatesLocked(f query.Filter) map[DocID]struct{} {
 	}
 }
 
-func (s *Store) indexLocked(d *Document) {
+// putLocked installs cp in this shard, displacing any previous version
+// (including one filed under a different community that hashed here).
+func (sh *shard) putLocked(cp *Document) {
+	if old, ok := sh.docs[cp.ID]; ok {
+		sh.unindexLocked(old)
+		if old.CommunityID != cp.CommunityID {
+			sh.dropMembershipLocked(old)
+		}
+	}
+	sh.docs[cp.ID] = cp
+	comm := sh.byCommunity[cp.CommunityID]
+	if comm == nil {
+		comm = make(map[DocID]struct{})
+		sh.byCommunity[cp.CommunityID] = comm
+	}
+	comm[cp.ID] = struct{}{}
+	sh.indexLocked(cp)
+	sh.gen++
+}
+
+// removeLocked deletes d from this shard entirely.
+func (sh *shard) removeLocked(d *Document) {
+	sh.unindexLocked(d)
+	delete(sh.docs, d.ID)
+	sh.dropMembershipLocked(d)
+	sh.gen++
+}
+
+// dropMembershipLocked removes d from its community's member set.
+func (sh *shard) dropMembershipLocked(d *Document) {
+	if comm := sh.byCommunity[d.CommunityID]; comm != nil {
+		delete(comm, d.ID)
+		if len(comm) == 0 {
+			delete(sh.byCommunity, d.CommunityID)
+		}
+	}
+}
+
+func (sh *shard) indexLocked(d *Document) {
 	for attr, vals := range d.Attrs {
-		field := s.inverted[attr]
+		field := sh.inverted[attr]
 		if field == nil {
 			field = make(map[string]map[DocID]struct{})
-			s.inverted[attr] = field
+			sh.inverted[attr] = field
 		}
 		for _, v := range vals {
 			for _, tok := range indexTokens(v) {
@@ -273,16 +615,16 @@ func (s *Store) indexLocked(d *Document) {
 				}
 				if _, dup := set[d.ID]; !dup {
 					set[d.ID] = struct{}{}
-					s.postings++
+					sh.postings++
 				}
 			}
 		}
 	}
 }
 
-func (s *Store) unindexLocked(d *Document) {
+func (sh *shard) unindexLocked(d *Document) {
 	for attr, vals := range d.Attrs {
-		field := s.inverted[attr]
+		field := sh.inverted[attr]
 		if field == nil {
 			continue
 		}
@@ -291,7 +633,7 @@ func (s *Store) unindexLocked(d *Document) {
 				if set := field[tok]; set != nil {
 					if _, ok := set[d.ID]; ok {
 						delete(set, d.ID)
-						s.postings--
+						sh.postings--
 					}
 					if len(set) == 0 {
 						delete(field, tok)
@@ -300,7 +642,7 @@ func (s *Store) unindexLocked(d *Document) {
 			}
 		}
 		if len(field) == 0 {
-			delete(s.inverted, attr)
+			delete(sh.inverted, attr)
 		}
 	}
 }

@@ -8,7 +8,9 @@ import (
 )
 
 // snapshot is the serialized store form: documents only; the inverted
-// index is rebuilt on load (it is derived state).
+// index is rebuilt on load (it is derived state). The format is
+// independent of the shard count, so snapshots move freely between
+// store configurations.
 type snapshot struct {
 	Version   int         `json:"version"`
 	Documents []*Document `json:"documents"`
@@ -20,12 +22,14 @@ const snapshotVersion = 1
 // Save writes the store's documents as JSON. The snapshot is
 // deterministic (documents sorted by ID) so backups diff cleanly.
 func (s *Store) Save(w io.Writer) error {
-	s.mu.RLock()
-	docs := make([]*Document, 0, len(s.docs))
-	for _, d := range s.docs {
-		docs = append(docs, d.clone())
+	var docs []*Document
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for _, d := range sh.docs {
+			docs = append(docs, d.clone())
+		}
+		sh.mu.RUnlock()
 	}
-	s.mu.RUnlock()
 	sort.Slice(docs, func(i, j int) bool { return docs[i].ID < docs[j].ID })
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
@@ -36,7 +40,8 @@ func (s *Store) Save(w io.Writer) error {
 }
 
 // Load replaces the store's contents with a snapshot written by Save,
-// rebuilding the inverted index.
+// rebuilding the inverted index via one batch per shard. Like Save,
+// it must not race other writers.
 func (s *Store) Load(r io.Reader) error {
 	var snap snapshot
 	if err := json.NewDecoder(r).Decode(&snap); err != nil {
@@ -45,16 +50,21 @@ func (s *Store) Load(r io.Reader) error {
 	if snap.Version != snapshotVersion {
 		return fmt.Errorf("index: load: unsupported snapshot version %d", snap.Version)
 	}
-	s.mu.Lock()
-	s.docs = make(map[DocID]*Document, len(snap.Documents))
-	s.byCommunity = make(map[string]map[DocID]struct{})
-	s.inverted = make(map[string]map[string]map[DocID]struct{})
-	s.postings = 0
-	s.mu.Unlock()
-	for _, d := range snap.Documents {
-		if err := s.Put(d); err != nil {
-			return fmt.Errorf("index: load %s: %w", d.ID, err)
-		}
+	s.dir.Range(func(k, _ any) bool {
+		s.dir.Delete(k)
+		return true
+	})
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.docs = make(map[DocID]*Document)
+		sh.byCommunity = make(map[string]map[DocID]struct{})
+		sh.inverted = make(map[string]map[string]map[DocID]struct{})
+		sh.postings = 0
+		sh.gen++
+		sh.mu.Unlock()
+	}
+	if err := s.PutBatch(snap.Documents); err != nil {
+		return fmt.Errorf("index: load: %w", err)
 	}
 	return nil
 }

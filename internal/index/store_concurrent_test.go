@@ -1,0 +1,314 @@
+package index
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/query"
+)
+
+// TestConcurrentMixedAcrossCommunities hammers the sharded store with
+// 12 goroutines doing mixed Put/Search/Delete/Get across 4
+// communities (run under -race in CI), then verifies the surviving
+// state is exactly what sequential semantics predict: each goroutine
+// owns a disjoint ID space, so the final contents are deterministic.
+func TestConcurrentMixedAcrossCommunities(t *testing.T) {
+	const (
+		goroutines = 12
+		iterations = 120
+		keepEvery  = 3 // delete two of every three documents written
+	)
+	communities := []string{"patterns", "mp3", "species", "molecules"}
+	s := NewStore(WithShards(8), WithCacheSize(32))
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			comm := communities[g%len(communities)]
+			other := communities[(g+1)%len(communities)]
+			for i := 0; i < iterations; i++ {
+				id := fmt.Sprintf("d-%d-%d", g, i)
+				err := s.Put(doc(id, comm, "T", map[string][]string{
+					"k": {fmt.Sprintf("v%d", i%7)},
+				}))
+				if err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+				s.Search(comm, query.MustParse("(k=v1)"), 0)
+				s.Search(other, query.MatchAll{}, 5)
+				s.Get(DocID(id))
+				s.Has(DocID(id))
+				if i%keepEvery != 0 {
+					if !s.Delete(DocID(id)) {
+						t.Errorf("Delete(%s) = false, doc was just put", id)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	want := 0
+	for g := 0; g < goroutines; g++ {
+		for i := 0; i < iterations; i++ {
+			if i%keepEvery == 0 {
+				want++
+				id := DocID(fmt.Sprintf("d-%d-%d", g, i))
+				if !s.Has(id) {
+					t.Fatalf("surviving doc %s missing", id)
+				}
+			}
+		}
+	}
+	if got := s.Len(); got != want {
+		t.Errorf("Len = %d, want %d", got, want)
+	}
+	total := 0
+	for _, c := range communities {
+		total += s.CommunityLen(c)
+	}
+	if total != want {
+		t.Errorf("sum of CommunityLen = %d, want %d", total, want)
+	}
+	// Every survivor must be reachable through a community search.
+	found := 0
+	for _, c := range communities {
+		found += len(s.Search(c, query.MatchAll{}, 0))
+	}
+	if found != want {
+		t.Errorf("searchable docs = %d, want %d", found, want)
+	}
+}
+
+// TestPutBatchMatchesSequential checks batch-vs-single equivalence:
+// loading the same documents through PutBatch and through a Put loop
+// must produce byte-identical snapshots and identical derived state,
+// across several shard configurations.
+func TestPutBatchMatchesSequential(t *testing.T) {
+	mkDocs := func() []*Document {
+		var docs []*Document
+		for i := 0; i < 60; i++ {
+			comm := fmt.Sprintf("c%d", i%5)
+			docs = append(docs, doc(fmt.Sprintf("d%02d", i), comm, fmt.Sprintf("T%d", i), map[string][]string{
+				"k":    {fmt.Sprintf("v%d", i%4)},
+				"tags": {"shared token", fmt.Sprintf("t%d", i%3)},
+			}))
+		}
+		// A duplicate ID: the batch must behave like sequential Puts
+		// (last occurrence wins).
+		docs = append(docs, doc("d07", "c2", "replaced", map[string][]string{"k": {"v9"}}))
+		return docs
+	}
+	for _, shards := range []int{1, 4, 16} {
+		single := NewStore(WithShards(shards))
+		batch := NewStore(WithShards(shards))
+		for _, d := range mkDocs() {
+			if err := single.Put(d); err != nil {
+				t.Fatalf("Put: %v", err)
+			}
+		}
+		if err := batch.PutBatch(mkDocs()); err != nil {
+			t.Fatalf("PutBatch: %v", err)
+		}
+		var a, b bytes.Buffer
+		if err := single.Save(&a); err != nil {
+			t.Fatal(err)
+		}
+		if err := batch.Save(&b); err != nil {
+			t.Fatal(err)
+		}
+		if a.String() != b.String() {
+			t.Errorf("shards=%d: batch snapshot differs from sequential snapshot", shards)
+		}
+		if single.Postings() != batch.Postings() {
+			t.Errorf("shards=%d: postings %d != %d", shards, single.Postings(), batch.Postings())
+		}
+		if single.Len() != batch.Len() {
+			t.Errorf("shards=%d: len %d != %d", shards, single.Len(), batch.Len())
+		}
+		f := query.MustParse("(k=v1)")
+		for _, comm := range single.Communities() {
+			ga, gb := ids(single.Search(comm, f, 0)), ids(batch.Search(comm, f, 0))
+			if fmt.Sprint(ga) != fmt.Sprint(gb) {
+				t.Errorf("shards=%d community %s: search %v != %v", shards, comm, ga, gb)
+			}
+		}
+	}
+}
+
+// TestPutBatchValidation: an invalid document rejects the whole batch
+// before anything is written.
+func TestPutBatchValidation(t *testing.T) {
+	s := NewStore()
+	err := s.PutBatch([]*Document{
+		doc("ok", "c", "T", nil),
+		{CommunityID: "c"}, // no ID
+	})
+	if err == nil {
+		t.Fatal("PutBatch accepted an ID-less document")
+	}
+	if s.Len() != 0 {
+		t.Errorf("partial batch applied: Len = %d, want 0", s.Len())
+	}
+}
+
+// TestDeleteBatch removes across communities and counts only documents
+// that existed.
+func TestDeleteBatch(t *testing.T) {
+	s := NewStore(WithShards(4))
+	var all []DocID
+	for i := 0; i < 20; i++ {
+		id := DocID(fmt.Sprintf("d%02d", i))
+		all = append(all, id)
+		if err := s.Put(doc(string(id), fmt.Sprintf("c%d", i%3), "T", map[string][]string{"k": {"v"}})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := s.DeleteBatch(append(all[:10:10], "missing"))
+	if n != 10 {
+		t.Errorf("DeleteBatch = %d, want 10", n)
+	}
+	if s.Len() != 10 {
+		t.Errorf("Len = %d, want 10", s.Len())
+	}
+	for _, id := range all[:10] {
+		if s.Has(id) {
+			t.Errorf("deleted doc %s still present", id)
+		}
+	}
+	if n := s.DeleteBatch(all); n != 10 {
+		t.Errorf("second DeleteBatch = %d, want 10", n)
+	}
+	if s.Len() != 0 || s.Postings() != 0 {
+		t.Errorf("after full delete: Len=%d Postings=%d, want 0/0", s.Len(), s.Postings())
+	}
+}
+
+// TestCacheInvalidationOnWrite: repeated queries are served from the
+// per-shard cache, and any write to the community's shard makes the
+// next query recompute and observe the write.
+func TestCacheInvalidationOnWrite(t *testing.T) {
+	s := NewStore(WithShards(4), WithCacheSize(16))
+	put := func(id string) {
+		t.Helper()
+		if err := s.Put(doc(id, "c", "T", map[string][]string{"k": {"v"}})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put("d1")
+	f := query.MustParse("(k=v)")
+
+	if got := len(s.Search("c", f, 0)); got != 1 {
+		t.Fatalf("initial search = %d docs, want 1", got)
+	}
+	_, misses0 := s.CacheStats()
+	if got := len(s.Search("c", f, 0)); got != 1 {
+		t.Fatalf("repeat search = %d docs, want 1", got)
+	}
+	hits1, misses1 := s.CacheStats()
+	if hits1 == 0 {
+		t.Error("repeat of identical query did not hit the cache")
+	}
+	if misses1 != misses0 {
+		t.Errorf("repeat of identical query missed (misses %d -> %d)", misses0, misses1)
+	}
+
+	// A write must invalidate: the next identical query sees d2.
+	put("d2")
+	if got := len(s.Search("c", f, 0)); got != 2 {
+		t.Fatalf("post-write search = %d docs, want 2 (stale cache served?)", got)
+	}
+	// And a delete too.
+	s.Delete("d1")
+	if got := ids(s.Search("c", f, 0)); len(got) != 1 || got[0] != "d2" {
+		t.Fatalf("post-delete search = %v, want [d2]", got)
+	}
+
+	// Cached results must still be defensive copies.
+	s.Search("c", f, 0) // prime
+	res := s.Search("c", f, 0)
+	res[0].Attrs.Add("k", "mutated")
+	res[0].Title = "mutated"
+	again := s.Search("c", f, 0)
+	if again[0].Title == "mutated" || len(again[0].Attrs["k"]) != 1 {
+		t.Error("cache leaked mutable document state to a caller")
+	}
+}
+
+// TestCacheLRUEviction: the per-shard cache is bounded.
+func TestCacheLRUEviction(t *testing.T) {
+	s := NewStore(WithShards(1), WithCacheSize(4))
+	if err := s.Put(doc("d1", "c", "T", map[string][]string{"k": {"v"}})); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		s.Search("c", query.MustParse(fmt.Sprintf("(k=v%d)", i)), 0)
+	}
+	if got := s.shards[0].cache.entries(); got > 4 {
+		t.Errorf("cache grew to %d entries, cap 4", got)
+	}
+}
+
+// TestCrossCommunityReplace: re-publishing an ID under a different
+// community moves it between shards without leaving a stale copy.
+func TestCrossCommunityReplace(t *testing.T) {
+	s := NewStore(WithShards(8))
+	if err := s.Put(doc("d1", "alpha", "A", map[string][]string{"k": {"v"}})); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(doc("d1", "beta", "B", map[string][]string{"k": {"v"}})); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+	got, err := s.Get("d1")
+	if err != nil || got.CommunityID != "beta" {
+		t.Fatalf("Get = %+v, %v; want community beta", got, err)
+	}
+	if n := len(s.Search("alpha", query.MatchAll{}, 0)); n != 0 {
+		t.Errorf("old community still returns %d docs", n)
+	}
+	if n := len(s.Search("beta", query.MatchAll{}, 0)); n != 1 {
+		t.Errorf("new community returns %d docs, want 1", n)
+	}
+	if s.CommunityLen("alpha") != 0 || s.CommunityLen("beta") != 1 {
+		t.Errorf("CommunityLen alpha=%d beta=%d, want 0/1", s.CommunityLen("alpha"), s.CommunityLen("beta"))
+	}
+}
+
+// TestShardRoundingAndScoping: shard counts round up to powers of two
+// and community scoping holds across shard configurations.
+func TestShardRoundingAndScoping(t *testing.T) {
+	for n, want := range map[int]int{0: 1, 1: 1, 3: 4, 16: 16, 17: 32} {
+		if got := NewStore(WithShards(n)).NumShards(); got != want {
+			t.Errorf("WithShards(%d) -> %d shards, want %d", n, got, want)
+		}
+	}
+	s := NewStore(WithShards(4))
+	for i := 0; i < 40; i++ {
+		comm := fmt.Sprintf("c%d", i%8)
+		if err := s.Put(doc(fmt.Sprintf("d%02d", i), comm, "T", map[string][]string{"k": {"v"}})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for c := 0; c < 8; c++ {
+		comm := fmt.Sprintf("c%d", c)
+		for _, d := range s.Search(comm, query.MatchAll{}, 0) {
+			if d.CommunityID != comm {
+				t.Errorf("search %s returned doc of %s", comm, d.CommunityID)
+			}
+		}
+		if got := s.CommunityLen(comm); got != 5 {
+			t.Errorf("CommunityLen(%s) = %d, want 5", comm, got)
+		}
+	}
+	if got := len(s.Communities()); got != 8 {
+		t.Errorf("Communities = %d, want 8", got)
+	}
+}

@@ -3,7 +3,6 @@ package p2p
 import (
 	"encoding/json"
 	"fmt"
-	"sort"
 	"sync"
 	"time"
 
@@ -16,55 +15,70 @@ import (
 // metadata (attributes + provider); objects stay on their publishing
 // peers and are fetched peer-to-peer, exactly like Napster's split
 // between central search and direct download.
+//
+// Metadata lives in the same sharded index.Store the peers use
+// locally, so server-side search rides the inverted index, community
+// sharding, and result cache instead of scanning a flat entry map;
+// the server only adds a provider table mapping each DocID to the
+// peers serving it.
 type IndexServer struct {
 	ep transport.Endpoint
 
-	mu      sync.RWMutex
-	entries map[index.DocID][]serverEntry // replicas share a DocID
+	// mu serializes registration state: providers and the matching
+	// store entries mutate together under it (TCP dispatches handlers
+	// on per-connection goroutines, so a register and an unregister
+	// for one DocID can race), keeping the invariant that every
+	// stored document has at least one provider. Searches take
+	// mu.RLock across the store query and the provider expansion so
+	// they observe one consistent registration state.
+	mu        sync.RWMutex
+	store     *index.Store
+	providers map[index.DocID][]transport.PeerID // registration order
 }
 
-type serverEntry struct {
-	provider    transport.PeerID
-	communityID string
-	title       string
-	attrs       query.Attrs
-}
-
-// NewIndexServer attaches a server to the given endpoint.
+// NewIndexServer attaches a server to the given endpoint with a
+// default store configuration.
 func NewIndexServer(ep transport.Endpoint) *IndexServer {
+	return NewIndexServerOn(ep, index.NewStore())
+}
+
+// NewIndexServerOn attaches a server backed by the given store, so
+// deployments tune shard count and cache size to their load.
+func NewIndexServerOn(ep transport.Endpoint, store *index.Store) *IndexServer {
 	s := &IndexServer{
-		ep:      ep,
-		entries: make(map[index.DocID][]serverEntry),
+		ep:        ep,
+		store:     store,
+		providers: make(map[index.DocID][]transport.PeerID),
 	}
 	ep.SetHandler(s.handle)
 	return s
 }
 
 // Len returns the number of distinct registered documents.
-func (s *IndexServer) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.entries)
-}
+func (s *IndexServer) Len() int { return s.store.Len() }
 
 // DropPeer removes all registrations from a peer (simulating a peer
-// disconnect noticed by the server).
+// disconnect noticed by the server). Documents left without any
+// provider leave the metadata store in one batch.
 func (s *IndexServer) DropPeer(peer transport.PeerID) {
+	var orphaned []index.DocID
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for id, entries := range s.entries {
-		kept := entries[:0]
-		for _, e := range entries {
-			if e.provider != peer {
-				kept = append(kept, e)
+	for id, provs := range s.providers {
+		kept := provs[:0]
+		for _, p := range provs {
+			if p != peer {
+				kept = append(kept, p)
 			}
 		}
 		if len(kept) == 0 {
-			delete(s.entries, id)
+			delete(s.providers, id)
+			orphaned = append(orphaned, id)
 		} else {
-			s.entries[id] = kept
+			s.providers[id] = kept
 		}
 	}
+	s.store.DeleteBatch(orphaned)
 }
 
 func (s *IndexServer) handle(msg transport.Message) {
@@ -74,38 +88,31 @@ func (s *IndexServer) handle(msg transport.Message) {
 		if err := json.Unmarshal(msg.Payload, &reg); err != nil {
 			return
 		}
-		s.mu.Lock()
-		entries := s.entries[reg.DocID]
-		replaced := false
-		for i, e := range entries {
-			if e.provider == msg.From {
-				entries[i] = serverEntry{msg.From, reg.CommunityID, reg.Title, reg.Attrs}
-				replaced = true
-				break
-			}
+		s.register(msg.From, []registerPayload{reg})
+	case MsgRegisterBatch:
+		var batch registerBatchPayload
+		if err := json.Unmarshal(msg.Payload, &batch); err != nil {
+			return
 		}
-		if !replaced {
-			entries = append(entries, serverEntry{msg.From, reg.CommunityID, reg.Title, reg.Attrs})
-		}
-		s.entries[reg.DocID] = entries
-		s.mu.Unlock()
+		s.register(msg.From, batch.Docs)
 	case MsgUnregister:
 		var unreg unregisterPayload
 		if err := json.Unmarshal(msg.Payload, &unreg); err != nil {
 			return
 		}
 		s.mu.Lock()
-		entries := s.entries[unreg.DocID]
-		kept := entries[:0]
-		for _, e := range entries {
-			if e.provider != msg.From {
-				kept = append(kept, e)
+		provs := s.providers[unreg.DocID]
+		kept := provs[:0]
+		for _, p := range provs {
+			if p != msg.From {
+				kept = append(kept, p)
 			}
 		}
 		if len(kept) == 0 {
-			delete(s.entries, unreg.DocID)
+			delete(s.providers, unreg.DocID)
+			s.store.Delete(unreg.DocID)
 		} else {
-			s.entries[unreg.DocID] = kept
+			s.providers[unreg.DocID] = kept
 		}
 		s.mu.Unlock()
 	case MsgSearch:
@@ -126,29 +133,59 @@ func (s *IndexServer) handle(msg transport.Message) {
 	}
 }
 
+// register records from as a provider of each document and upserts the
+// metadata in one store batch. Replicas are content-addressed, so a
+// re-registration refreshes metadata identically for every provider.
+func (s *IndexServer) register(from transport.PeerID, regs []registerPayload) {
+	docs := make([]*index.Document, 0, len(regs))
+	for _, reg := range regs {
+		if reg.DocID == "" {
+			continue
+		}
+		docs = append(docs, &index.Document{
+			ID:          reg.DocID,
+			CommunityID: reg.CommunityID,
+			Title:       reg.Title,
+			Attrs:       reg.Attrs,
+		})
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, doc := range docs {
+		provs := s.providers[doc.ID]
+		known := false
+		for _, p := range provs {
+			if p == from {
+				known = true
+				break
+			}
+		}
+		if !known {
+			s.providers[doc.ID] = append(provs, from)
+		}
+	}
+	_ = s.store.PutBatch(docs)
+}
+
 func (s *IndexServer) search(communityID string, f query.Filter, limit int) []Result {
+	// The whole read runs under mu so the store query and the
+	// provider expansion see one consistent registration state
+	// (lock order mu -> store, same as register). Every stored
+	// document then has at least one provider, so limit docs yield at
+	// least limit results and the store never materializes more
+	// matches than the client asked for.
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	docs := s.store.Search(communityID, f, limit)
 	var out []Result
-	ids := make([]index.DocID, 0, len(s.entries))
-	for id := range s.entries {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
-		for _, e := range s.entries[id] {
-			if communityID != "" && e.communityID != communityID {
-				continue
-			}
-			if !f.Match(e.attrs) {
-				continue
-			}
+	for _, d := range docs {
+		for _, p := range s.providers[d.ID] {
 			out = append(out, Result{
-				DocID:       id,
-				Provider:    e.provider,
-				CommunityID: e.communityID,
-				Title:       e.title,
-				Attrs:       e.attrs,
+				DocID:       d.ID,
+				Provider:    p,
+				CommunityID: d.CommunityID,
+				Title:       d.Title,
+				Attrs:       d.Attrs,
 			})
 			if limit > 0 && len(out) >= limit {
 				return out
@@ -203,15 +240,42 @@ func (c *CentralizedClient) Publish(doc *index.Document) error {
 		return err
 	}
 	return c.ep.Send(transport.Message{
-		To:   c.server,
-		Type: MsgRegister,
-		Payload: marshal(registerPayload{
-			DocID:       doc.ID,
-			CommunityID: doc.CommunityID,
-			Title:       doc.Title,
-			Attrs:       doc.Attrs,
-		}),
+		To:      c.server,
+		Type:    MsgRegister,
+		Payload: marshal(registerPayloadFor(doc)),
 	})
+}
+
+// PublishBatch implements Network: one local store batch plus one
+// register-batch frame per chunk, so bulk publication costs one shard
+// lock round and one server message per few hundred documents instead
+// of one each per document.
+func (c *CentralizedClient) PublishBatch(docs []*index.Document) error {
+	if len(docs) == 0 {
+		return nil
+	}
+	if err := c.store.PutBatch(docs); err != nil {
+		return err
+	}
+	for start := 0; start < len(docs); start += registerBatchChunk {
+		end := start + registerBatchChunk
+		if end > len(docs) {
+			end = len(docs)
+		}
+		regs := make([]registerPayload, 0, end-start)
+		for _, doc := range docs[start:end] {
+			regs = append(regs, registerPayloadFor(doc))
+		}
+		err := c.ep.Send(transport.Message{
+			To:      c.server,
+			Type:    MsgRegisterBatch,
+			Payload: marshal(registerBatchPayload{Docs: regs}),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Unpublish implements Network.

@@ -22,6 +22,14 @@ import (
 // the Gnutella wire protocol (query/query-hit) among themselves.
 // Retrieval is the shared direct fetch protocol in both roles.
 
+// serverEntry is one leaf registration on a super-peer.
+type serverEntry struct {
+	provider    transport.PeerID
+	communityID string
+	title       string
+	attrs       query.Attrs
+}
+
 // SuperPeer is a FastTrack hub: it indexes its leaves' metadata and
 // floods queries across the super-peer overlay.
 type SuperPeer struct {
@@ -101,21 +109,13 @@ func (s *SuperPeer) handle(msg transport.Message) {
 		if err := json.Unmarshal(msg.Payload, &reg); err != nil {
 			return
 		}
-		s.mu.Lock()
-		entries := s.leafIndex[reg.DocID]
-		replaced := false
-		for i, e := range entries {
-			if e.provider == msg.From {
-				entries[i] = serverEntry{msg.From, reg.CommunityID, reg.Title, reg.Attrs}
-				replaced = true
-				break
-			}
+		s.registerLeaf(msg.From, []registerPayload{reg})
+	case MsgRegisterBatch:
+		var batch registerBatchPayload
+		if err := json.Unmarshal(msg.Payload, &batch); err != nil {
+			return
 		}
-		if !replaced {
-			entries = append(entries, serverEntry{msg.From, reg.CommunityID, reg.Title, reg.Attrs})
-		}
-		s.leafIndex[reg.DocID] = entries
-		s.mu.Unlock()
+		s.registerLeaf(msg.From, batch.Docs)
 	case MsgUnregister:
 		var unreg unregisterPayload
 		if err := json.Unmarshal(msg.Payload, &unreg); err != nil {
@@ -143,6 +143,27 @@ func (s *SuperPeer) handle(msg transport.Message) {
 		s.handleQuery(msg)
 	case MsgQueryHit:
 		s.handleQueryHit(msg)
+	}
+}
+
+// registerLeaf upserts one leaf's registrations (single or batched).
+func (s *SuperPeer) registerLeaf(from transport.PeerID, regs []registerPayload) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, reg := range regs {
+		entries := s.leafIndex[reg.DocID]
+		replaced := false
+		for i, e := range entries {
+			if e.provider == from {
+				entries[i] = serverEntry{from, reg.CommunityID, reg.Title, reg.Attrs}
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			entries = append(entries, serverEntry{from, reg.CommunityID, reg.Title, reg.Attrs})
+		}
+		s.leafIndex[reg.DocID] = entries
 	}
 }
 

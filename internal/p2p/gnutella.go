@@ -122,6 +122,12 @@ func (g *GnutellaNode) Publish(doc *index.Document) error {
 	return g.store.Put(doc)
 }
 
+// PublishBatch implements Network: with no registration protocol, a
+// batch is purely a local store batch (one shard lock round).
+func (g *GnutellaNode) PublishBatch(docs []*index.Document) error {
+	return g.store.PutBatch(docs)
+}
+
 // Unpublish implements Network.
 func (g *GnutellaNode) Unpublish(id index.DocID) error {
 	g.store.Delete(id)

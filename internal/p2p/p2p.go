@@ -37,10 +37,13 @@ import (
 // Message types on the wire.
 const (
 	// Centralized protocol.
-	MsgRegister   = "register"
-	MsgUnregister = "unregister"
-	MsgSearch     = "search"
-	MsgSearchHit  = "search-hit"
+	MsgRegister = "register"
+	// MsgRegisterBatch registers many documents in one frame: the wire
+	// half of the store's batched ingest path.
+	MsgRegisterBatch = "register-batch"
+	MsgUnregister    = "unregister"
+	MsgSearch        = "search"
+	MsgSearchHit     = "search-hit"
 	// Gnutella protocol.
 	MsgQuery    = "query"
 	MsgQueryHit = "query-hit"
@@ -92,6 +95,11 @@ type Network interface {
 	PeerID() transport.PeerID
 	// Publish makes a document discoverable on the network.
 	Publish(doc *index.Document) error
+	// PublishBatch makes many documents discoverable at once. It is
+	// semantically a loop over Publish, but implementations amortize:
+	// one store batch locally and (where a registration protocol
+	// exists) one register-batch message instead of one per document.
+	PublishBatch(docs []*index.Document) error
 	// Unpublish withdraws a document.
 	Unpublish(id index.DocID) error
 	// Search finds matching documents within a community.
@@ -133,6 +141,24 @@ type registerPayload struct {
 	Title       string      `json:"title"`
 	Attrs       query.Attrs `json:"attrs"`
 }
+
+type registerBatchPayload struct {
+	Docs []registerPayload `json:"docs"`
+}
+
+// registerPayloadFor extracts the registered metadata of a document.
+func registerPayloadFor(doc *index.Document) registerPayload {
+	return registerPayload{
+		DocID:       doc.ID,
+		CommunityID: doc.CommunityID,
+		Title:       doc.Title,
+		Attrs:       doc.Attrs,
+	}
+}
+
+// registerBatchChunk bounds documents per register-batch frame so a
+// large batch cannot exceed the transport's frame limit.
+const registerBatchChunk = 512
 
 type unregisterPayload struct {
 	DocID index.DocID `json:"docId"`

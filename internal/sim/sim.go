@@ -15,6 +15,7 @@ import (
 	"repro/internal/p2p"
 	"repro/internal/query"
 	"repro/internal/transport"
+	"repro/internal/xmldoc"
 )
 
 // Protocol selects the network layer under the servents.
@@ -269,14 +270,30 @@ func (c *Cluster) PublishRoundRobin(communityID string, objs []corpus.Object) ([
 	if len(members) == 0 {
 		return nil, fmt.Errorf("sim: no peer joined community %s", communityID)
 	}
-	ids := make([]index.DocID, 0, len(objs))
-	for i, obj := range objs {
-		sv := members[i%len(members)]
-		id, err := sv.Publish(communityID, obj.Doc.Clone(), nil)
-		if err != nil {
-			return nil, fmt.Errorf("sim: publish %d: %w", i, err)
+	// Group each member's share and publish it as one batch: the
+	// store's bulk-ingest path, while keeping the round-robin
+	// placement (object i still lands on member i mod N).
+	ids := make([]index.DocID, len(objs))
+	perMember := make([][]int, len(members))
+	for i := range objs {
+		m := i % len(members)
+		perMember[m] = append(perMember[m], i)
+	}
+	for m, idxs := range perMember {
+		if len(idxs) == 0 {
+			continue
 		}
-		ids = append(ids, id)
+		batch := make([]*xmldoc.Node, len(idxs))
+		for j, i := range idxs {
+			batch[j] = objs[i].Doc.Clone()
+		}
+		got, err := members[m].PublishBatch(communityID, batch)
+		if err != nil {
+			return nil, fmt.Errorf("sim: publish batch on peer %d: %w", m, err)
+		}
+		for j, i := range idxs {
+			ids[i] = got[j]
+		}
 	}
 	return ids, nil
 }
