@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race fmt vet bench-smoke ci
+.PHONY: build test race fmt vet bench-smoke determinism sim-smoke ci
 
 build:
 	$(GO) build ./...
@@ -30,4 +30,15 @@ vet:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
-ci: build fmt vet test race bench-smoke
+# Determinism gate: the golden-trace tests must produce identical
+# message-trace hashes on repeated in-process runs (catches map-order
+# leaks, global counters, unseeded randomness).
+determinism:
+	$(GO) test ./internal/sim -run Golden -count=2
+
+# One scenario experiment at reduced scale: proves the discrete-event
+# engine end to end (churn, latency model, recall accounting) in CI.
+sim-smoke:
+	$(GO) run ./cmd/up2pbench -run E10 -scn-peers 150 -scn-queries 50
+
+ci: build fmt vet test race bench-smoke determinism sim-smoke

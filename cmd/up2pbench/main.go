@@ -1,9 +1,10 @@
 // Command up2pbench runs the experiment suite of EXPERIMENTS.md and
-// prints every table/figure reproduction (F1–F3, E1–E9).
+// prints every table/figure reproduction (F1–F3, E1–E12).
 //
-//	up2pbench            # run everything
-//	up2pbench -run E3    # one experiment
-//	up2pbench -list      # list experiments
+//	up2pbench                          # run everything
+//	up2pbench -run E3                  # one experiment
+//	up2pbench -run E10 -scn-peers 200  # scenario experiment, reduced scale
+//	up2pbench -list                    # list experiments
 package main
 
 import (
@@ -37,6 +38,13 @@ func run() error {
 			"E9: documents per community")
 		storeOps = flag.Int("store-ops", bench.StoreBenchConfig.OpsPerWorker,
 			"E9: operations per client")
+		// E10–E12 (discrete-event scenario) workload knobs.
+		scnPeers = flag.Int("scn-peers", bench.ScenarioBenchConfig.Peers,
+			"E10-E12: scenario population")
+		scnQueries = flag.Int("scn-queries", bench.ScenarioBenchConfig.Queries,
+			"E10-E12: queries per scenario run")
+		scnSeed = flag.Int64("scn-seed", bench.ScenarioBenchConfig.Seed,
+			"E10-E12: scenario seed (same seed -> identical trace)")
 	)
 	flag.Parse()
 	bench.StoreBenchConfig.Workers = *storeWorkers
@@ -44,6 +52,9 @@ func run() error {
 	bench.StoreBenchConfig.Communities = *storeComms
 	bench.StoreBenchConfig.DocsPerCommunity = *storeDocs
 	bench.StoreBenchConfig.OpsPerWorker = *storeOps
+	bench.ScenarioBenchConfig.Peers = *scnPeers
+	bench.ScenarioBenchConfig.Queries = *scnQueries
+	bench.ScenarioBenchConfig.Seed = *scnSeed
 
 	if *list {
 		for _, r := range bench.All() {

@@ -1,10 +1,27 @@
 package bench
 
 import (
+	"os"
 	"strconv"
 	"strings"
 	"testing"
 )
+
+// TestMain shrinks the scenario experiments to test scale: the full
+// 1000-peer sweeps are an up2pbench artifact (and the dedicated
+// acceptance test in internal/sim), not something every `go test`
+// should pay ~50s for.
+func TestMain(m *testing.M) {
+	ScenarioBenchConfig.Peers = 120
+	ScenarioBenchConfig.Queries = 45
+	if raceEnabled {
+		// The race job pays ~10x per message; the shapes under test
+		// survive at 60 peers.
+		ScenarioBenchConfig.Peers = 60
+		ScenarioBenchConfig.Queries = 30
+	}
+	os.Exit(m.Run())
+}
 
 // TestAllExperimentsRun executes every experiment once and checks the
 // structural invariants of their tables.
@@ -197,6 +214,78 @@ func TestE8Shape(t *testing.T) {
 		if row[3] != "yes" {
 			t.Errorf("results differ across protocols for %q: %v", row[0], row)
 		}
+	}
+}
+
+// TestE10Shape verifies the churn sweep's cost ordering (centralized <
+// fasttrack < gnutella per query) and that recall survives churn on a
+// connected overlay.
+func TestE10Shape(t *testing.T) {
+	tbl, err := RunE10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	perProto := map[string]float64{}
+	for _, row := range tbl.Rows {
+		msgs, _ := strconv.ParseFloat(row[4], 64)
+		perProto[row[0]] += msgs
+		if r := pct(t, row[5]); r < 90 {
+			t.Errorf("%s churn %s: recall %v%%", row[0], row[1], r)
+		}
+	}
+	if !(perProto["centralized"] < perProto["fasttrack"] && perProto["fasttrack"] < perProto["gnutella"]) {
+		t.Errorf("msgs/query ordering violated: %v", perProto)
+	}
+}
+
+// TestE11Shape verifies loss monotonically erodes recall and that
+// flooding never hard-fails a query while centralized does.
+func TestE11Shape(t *testing.T) {
+	tbl, err := RunE11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	recalls := map[string][]float64{}
+	failed := map[string]int{}
+	for _, row := range tbl.Rows {
+		recalls[row[0]] = append(recalls[row[0]], pct(t, row[5]))
+		n, _ := strconv.Atoi(row[3])
+		failed[row[0]] += n
+	}
+	for proto, rs := range recalls {
+		if rs[0] < 95 {
+			t.Errorf("%s lossless recall = %v%%", proto, rs[0])
+		}
+		if rs[len(rs)-1] >= rs[0] {
+			t.Errorf("%s recall did not erode with loss: %v", proto, rs)
+		}
+	}
+	if failed["gnutella"] != 0 {
+		t.Errorf("gnutella queries hard-failed under loss: %d (flooding has no single point)", failed["gnutella"])
+	}
+	if failed["centralized"] == 0 {
+		t.Error("centralized never failed a query under 15% loss; timeout path untested")
+	}
+}
+
+// TestE12Shape verifies the failover arc: steady, dip, recovery.
+func TestE12Shape(t *testing.T) {
+	tbl, err := RunE12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	before, outage, after := pct(t, tbl.Rows[0][4]), pct(t, tbl.Rows[1][4]), pct(t, tbl.Rows[2][4])
+	if before < 99 {
+		t.Errorf("recall before failure = %v%%", before)
+	}
+	if outage >= before {
+		t.Errorf("no outage dip: %v%% >= %v%%", outage, before)
+	}
+	if after <= outage {
+		t.Errorf("no recovery after rehome: %v%% <= %v%%", after, outage)
 	}
 }
 

@@ -1,0 +1,7 @@
+//go:build !race
+
+package bench
+
+// raceEnabled reports whether the race detector is compiled in; the
+// test harness shrinks scenario workloads under its ~10x slowdown.
+const raceEnabled = false

@@ -1,7 +1,9 @@
 // Package bench implements the experiment harness behind
 // EXPERIMENTS.md: one runner per figure (F1–F3) and per quantified
-// claim (E1–E9), each reproducing the corresponding artifact of the
-// paper as a printed table. All runs are seeded and deterministic.
+// claim (E1–E12), each reproducing the corresponding artifact of the
+// paper — or extending its evaluation, as the discrete-event scenario
+// experiments E10–E12 do — as a printed table. All runs are seeded and
+// deterministic.
 package bench
 
 import (
@@ -11,7 +13,7 @@ import (
 
 // Table is one experiment's output: paper-style rows.
 type Table struct {
-	// ID is the experiment identifier (F1..F3, E1..E9).
+	// ID is the experiment identifier (F1..F3, E1..E12).
 	ID string
 	// Title describes the experiment.
 	Title string
@@ -89,6 +91,9 @@ func All() []Runner {
 		{"E7", "design-pattern case study (§V)", RunE7},
 		{"E8", "protocol independence", RunE8},
 		{"E9", "metadata store scalability: single-lock vs sharded", RunE9},
+		{"E10", "churn sweep on the virtual clock", RunE10},
+		{"E11", "message-loss sweep", RunE11},
+		{"E12", "super-peer failover and leaf re-registration", RunE12},
 	}
 }
 

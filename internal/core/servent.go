@@ -386,6 +386,18 @@ func (s *Servent) CreateCommunity(spec CommunitySpec) (*Community, error) {
 	return c, nil
 }
 
+// AdoptCommunity installs an already-constructed community locally
+// without any network traffic: the out-of-band bootstrap path used by
+// large simulation scenarios (and by operators distributing a schema
+// through other channels), where per-peer discovery floods would
+// dominate the workload being measured.
+func (s *Servent) AdoptCommunity(c *Community) error {
+	if c == nil {
+		return ErrNotCommunity
+	}
+	return s.install(c)
+}
+
 // DiscoverCommunities searches the root community: the paper's
 // reduction of community discovery to object search.
 func (s *Servent) DiscoverCommunities(f query.Filter, opts p2p.SearchOptions) ([]p2p.Result, error) {

@@ -12,6 +12,25 @@ import (
 	"repro/internal/transport"
 )
 
+// pollUntil polls cond every 10ms until it reports success or the
+// deadline passes, returning whether it succeeded. TCP delivery is
+// asynchronous, so tests wait for observable state instead of sleeping
+// fixed amounts — the deadline only bounds a failure, it never slows a
+// passing run.
+func pollUntil(t *testing.T, timeout time.Duration, cond func() bool) bool {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		if cond() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
 // TestCentralizedOverTCP runs the full U-P2P flow — create community,
 // discover, join, publish, search, retrieve with attachments — over
 // real TCP sockets, proving the in-memory simulator is not load-
@@ -61,26 +80,30 @@ func TestCentralizedOverTCP(t *testing.T) {
 	// server has indexed the community (or the deadline passes).
 	opts := p2p.SearchOptions{Timeout: 3 * time.Second}
 	var found []p2p.Result
-	deadline := time.Now().Add(5 * time.Second)
-	for {
+	pollUntil(t, 5*time.Second, func() bool {
 		found, err = bob.DiscoverCommunities(query.MustParse("(keywords~=music)"), opts)
 		if err != nil {
 			t.Fatalf("discover over TCP: %v", err)
 		}
-		if len(found) > 0 || time.Now().After(deadline) {
-			break
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
+		return len(found) > 0
+	})
 	if len(found) != 1 {
 		t.Fatalf("found = %+v", found)
 	}
 	if _, err := bob.JoinFromNetwork(found[0]); err != nil {
 		t.Fatalf("join over TCP: %v", err)
 	}
-	hits, err := bob.Search(comm.ID, query.MatchAll{}, opts)
-	if err != nil || len(hits) != 1 {
-		t.Fatalf("search = %v, %v", hits, err)
+	// The song's register frame is also asynchronous; poll as above.
+	var hits []p2p.Result
+	pollUntil(t, 5*time.Second, func() bool {
+		hits, err = bob.Search(comm.ID, query.MatchAll{}, opts)
+		if err != nil {
+			t.Fatalf("search over TCP: %v", err)
+		}
+		return len(hits) > 0
+	})
+	if len(hits) != 1 {
+		t.Fatalf("search hits = %+v", hits)
 	}
 	doc, err := bob.Retrieve(hits[0].DocID, hits[0].Provider)
 	if err != nil {
@@ -134,11 +157,20 @@ func TestGnutellaOverTCP(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	opts := p2p.SearchOptions{TTL: 4, Timeout: 3 * time.Second}
-	found, err := peers[0].sv.DiscoverCommunities(query.MustParse("(name=patterns)"), opts)
-	if err != nil {
-		t.Fatalf("flood discover over TCP: %v", err)
-	}
+	// Limit 1 lets the hit collector close as soon as the single
+	// expected hit arrives instead of waiting out the full timeout;
+	// polling with per-attempt timeouts absorbs slow TCP dial/accept
+	// on loaded CI machines.
+	opts := p2p.SearchOptions{TTL: 4, Timeout: time.Second, Limit: 1}
+	var found []p2p.Result
+	pollUntil(t, 10*time.Second, func() bool {
+		var err error
+		found, err = peers[0].sv.DiscoverCommunities(query.MustParse("(name=patterns)"), opts)
+		if err != nil {
+			t.Fatalf("flood discover over TCP: %v", err)
+		}
+		return len(found) > 0
+	})
 	if len(found) != 1 {
 		t.Fatalf("found = %+v", found)
 	}
@@ -148,8 +180,16 @@ func TestGnutellaOverTCP(t *testing.T) {
 	if _, err := peers[0].sv.JoinFromNetwork(found[0]); err != nil {
 		t.Fatalf("join over TCP flood: %v", err)
 	}
-	hits, err := peers[0].sv.Search(comm.ID, query.MustParse("(name=*)"), opts)
-	if err != nil || len(hits) != 1 {
-		t.Fatalf("search = %v, %v", hits, err)
+	var hits []p2p.Result
+	pollUntil(t, 10*time.Second, func() bool {
+		var err error
+		hits, err = peers[0].sv.Search(comm.ID, query.MustParse("(name=*)"), opts)
+		if err != nil {
+			t.Fatalf("flood search over TCP: %v", err)
+		}
+		return len(hits) > 0
+	})
+	if len(hits) != 1 {
+		t.Fatalf("search hits = %+v", hits)
 	}
 }

@@ -1,0 +1,133 @@
+package dsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+func TestVirtualClockOrdering(t *testing.T) {
+	c := NewVirtualClock()
+	var order []int
+	c.Schedule(30*time.Millisecond, func(time.Time) { order = append(order, 3) })
+	c.Schedule(10*time.Millisecond, func(time.Time) { order = append(order, 1) })
+	c.Schedule(10*time.Millisecond, func(time.Time) { order = append(order, 2) }) // same instant: FIFO
+	c.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if got := c.Now().Sub(time.Unix(0, 0).UTC()); got != 30*time.Millisecond {
+		t.Errorf("now = %v", got)
+	}
+}
+
+func TestVirtualClockEventsScheduleEvents(t *testing.T) {
+	c := NewVirtualClock()
+	fired := 0
+	var chain func(time.Time)
+	chain = func(time.Time) {
+		fired++
+		if fired < 5 {
+			c.Schedule(time.Second, chain)
+		}
+	}
+	c.Schedule(time.Second, chain)
+	c.Run()
+	if fired != 5 {
+		t.Errorf("fired = %d", fired)
+	}
+	if got := c.Now().Sub(time.Unix(0, 0).UTC()); got != 5*time.Second {
+		t.Errorf("now = %v", got)
+	}
+}
+
+func TestVirtualClockRunUntil(t *testing.T) {
+	c := NewVirtualClock()
+	fired := 0
+	c.Schedule(time.Second, func(time.Time) { fired++ })
+	c.Schedule(3*time.Second, func(time.Time) { fired++ })
+	c.Sleep(2 * time.Second) // RunUntil via Sleep
+	if fired != 1 {
+		t.Errorf("fired = %d, want 1", fired)
+	}
+	if c.Pending() != 1 {
+		t.Errorf("pending = %d", c.Pending())
+	}
+	// Sleep advances even with no events due.
+	if got := c.Now().Sub(time.Unix(0, 0).UTC()); got != 2*time.Second {
+		t.Errorf("now = %v", got)
+	}
+	c.Run()
+	if fired != 2 {
+		t.Errorf("fired = %d, want 2", fired)
+	}
+}
+
+func TestVirtualClockAfter(t *testing.T) {
+	c := NewVirtualClock()
+	ch := c.After(time.Minute)
+	select {
+	case <-ch:
+		t.Fatal("After fired before time advanced")
+	default:
+	}
+	c.Sleep(time.Minute)
+	select {
+	case <-ch:
+	default:
+		t.Fatal("After did not fire at its deadline")
+	}
+}
+
+func TestLinkLatencyDeterministicAndBounded(t *testing.T) {
+	m := LinkLatency(7, 20*time.Millisecond, 10*time.Millisecond)
+	a := m("p1", "p2")
+	if b := m("p1", "p2"); b != a {
+		t.Errorf("latency not stable: %v vs %v", a, b)
+	}
+	lo, hi := 10*time.Millisecond, 30*time.Millisecond
+	saw := map[time.Duration]bool{}
+	for i := 0; i < 50; i++ {
+		from := transport.PeerID("p" + string(rune('a'+i%26)))
+		to := transport.PeerID("q" + string(rune('a'+i/26)))
+		d := m(from, to)
+		if d < lo || d > hi {
+			t.Errorf("latency %v outside [%v, %v]", d, lo, hi)
+		}
+		saw[d] = true
+	}
+	if len(saw) < 10 {
+		t.Errorf("latency model degenerate: %d distinct values", len(saw))
+	}
+	// A different seed reshuffles links.
+	m2 := LinkLatency(8, 20*time.Millisecond, 10*time.Millisecond)
+	if m2("p1", "p2") == a && m2("p1", "p3") == m("p1", "p3") && m2("p2", "p1") == m("p2", "p1") {
+		t.Error("seed has no effect on latency model")
+	}
+}
+
+func TestLinkLossBounds(t *testing.T) {
+	m := LinkLoss(3, 0.1)
+	for i := 0; i < 50; i++ {
+		p := m(transport.PeerID("a"+string(rune('a'+i))), "b")
+		if p < 0 || p >= 1 {
+			t.Errorf("loss %v outside [0,1)", p)
+		}
+	}
+	if LinkLoss(3, 0)("a", "b") != 0 {
+		t.Error("zero mean must mean zero loss")
+	}
+}
+
+func TestWallClock(t *testing.T) {
+	before := time.Now()
+	if Wall.Now().Before(before) {
+		t.Error("wall clock behind")
+	}
+	select {
+	case <-Wall.After(time.Millisecond):
+	case <-time.After(time.Second):
+		t.Error("wall After never fired")
+	}
+}

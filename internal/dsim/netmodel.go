@@ -1,0 +1,58 @@
+package dsim
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// Per-link network models. Each model derives its value by hashing
+// (seed, from, to) instead of consuming a shared PRNG, so the value a
+// link reports does not depend on how many other links were evaluated
+// first — a property golden-trace determinism relies on and that
+// stateful RNG models lack.
+
+// linkFrac hashes a directed link to a uniform fraction in [0, 1).
+func linkFrac(seed int64, from, to transport.PeerID) float64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(seed))
+	h.Write(b[:])
+	h.Write([]byte(from))
+	h.Write([]byte{0})
+	h.Write([]byte(to))
+	// 53 bits of hash → float64 fraction.
+	return float64(h.Sum64()>>11) / float64(1<<53)
+}
+
+// LinkLatency builds a per-link latency model: each directed link gets
+// a fixed latency in [base-jitter, base+jitter), clamped at zero.
+// Plug the result into transport.WithLatencyModel.
+func LinkLatency(seed int64, base, jitter time.Duration) func(from, to transport.PeerID) time.Duration {
+	return func(from, to transport.PeerID) time.Duration {
+		d := base
+		if jitter > 0 {
+			d += time.Duration((2*linkFrac(seed, from, to) - 1) * float64(jitter))
+		}
+		if d < 0 {
+			d = 0
+		}
+		return d
+	}
+}
+
+// LinkLoss builds a per-link loss model: each directed link drops
+// messages with a fixed probability in [0, 2*mean), averaging mean
+// across links (clamped to [0, 1)). Plug the result into
+// transport.WithDropModel.
+func LinkLoss(seed int64, mean float64) func(from, to transport.PeerID) float64 {
+	return func(from, to transport.PeerID) float64 {
+		p := 2 * mean * linkFrac(seed+1, from, to)
+		if p >= 1 {
+			p = 0.999
+		}
+		return p
+	}
+}

@@ -1,0 +1,158 @@
+package dsim
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// VirtualClock is a discrete-event scheduler: time is a number that
+// jumps from one event to the next, so a scenario spanning hours of
+// simulated time costs only the work of its events. Events scheduled
+// for the same instant fire in scheduling order (a monotone sequence
+// number breaks ties), which keeps runs deterministic.
+//
+// The clock is driven from one goroutine via Step, Run, RunUntil, or
+// Sleep; event callbacks run inline on that goroutine and may schedule
+// further events, but must not call Sleep (the drive loop is not
+// reentrant).
+type VirtualClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	seq    uint64
+	events eventQueue
+}
+
+var _ Clock = (*VirtualClock)(nil)
+
+type event struct {
+	at  time.Time
+	seq uint64
+	fn  func(now time.Time)
+}
+
+// NewVirtualClock returns a clock starting at the epoch. The absolute
+// origin is arbitrary; scenarios deal in durations since start.
+func NewVirtualClock() *VirtualClock {
+	return &VirtualClock{now: time.Unix(0, 0).UTC()}
+}
+
+// Now implements Clock.
+func (c *VirtualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Schedule enqueues fn to run once d has elapsed; d <= 0 runs at the
+// current instant (but still through the queue, after already-pending
+// events for that instant).
+func (c *VirtualClock) Schedule(d time.Duration, fn func(now time.Time)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.schedLocked(c.now.Add(d), fn)
+}
+
+// ScheduleAt enqueues fn for an absolute instant. Instants in the past
+// fire at the current time.
+func (c *VirtualClock) ScheduleAt(at time.Time, fn func(now time.Time)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if at.Before(c.now) {
+		at = c.now
+	}
+	c.schedLocked(at, fn)
+}
+
+func (c *VirtualClock) schedLocked(at time.Time, fn func(time.Time)) {
+	c.seq++
+	heap.Push(&c.events, &event{at: at, seq: c.seq, fn: fn})
+}
+
+// After implements Clock: the returned channel delivers the virtual
+// time once it reaches now+d. It fires only while the queue is being
+// driven, so only goroutines other than the driver may block on it.
+func (c *VirtualClock) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	c.Schedule(d, func(now time.Time) { ch <- now })
+	return ch
+}
+
+// Sleep implements Clock by driving the queue to now+d.
+func (c *VirtualClock) Sleep(d time.Duration) {
+	c.mu.Lock()
+	target := c.now.Add(d)
+	c.mu.Unlock()
+	c.RunUntil(target)
+}
+
+// Pending reports how many events are queued.
+func (c *VirtualClock) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.events.Len()
+}
+
+// Step fires the earliest pending event, advancing time to it. It
+// reports whether an event ran.
+func (c *VirtualClock) Step() bool {
+	c.mu.Lock()
+	if c.events.Len() == 0 {
+		c.mu.Unlock()
+		return false
+	}
+	ev := heap.Pop(&c.events).(*event)
+	c.now = ev.at
+	now := c.now
+	c.mu.Unlock()
+	ev.fn(now)
+	return true
+}
+
+// Run drains the queue: every event, including ones scheduled by
+// earlier events, fires in time order.
+func (c *VirtualClock) Run() {
+	for c.Step() {
+	}
+}
+
+// RunUntil fires every event due at or before target, then sets the
+// clock to target. Events scheduled beyond target stay queued.
+func (c *VirtualClock) RunUntil(target time.Time) {
+	for {
+		c.mu.Lock()
+		if c.events.Len() == 0 || c.events[0].at.After(target) {
+			if target.After(c.now) {
+				c.now = target
+			}
+			c.mu.Unlock()
+			return
+		}
+		ev := heap.Pop(&c.events).(*event)
+		c.now = ev.at
+		now := c.now
+		c.mu.Unlock()
+		ev.fn(now)
+	}
+}
+
+// eventQueue is a min-heap ordered by (time, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}

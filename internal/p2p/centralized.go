@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/dsim"
 	"repro/internal/index"
 	"repro/internal/query"
 	"repro/internal/transport"
@@ -200,11 +201,12 @@ func (s *IndexServer) search(communityID string, f query.Filter, limit int) []Re
 // the index server, and serves fetches from other peers directly.
 type CentralizedClient struct {
 	ep      transport.Endpoint
-	server  transport.PeerID
 	store   *index.Store
 	pending *pendingTable
+	clk     dsim.Clock
 
 	mu     sync.RWMutex
+	server transport.PeerID // mutable: Rehome repoints it after failover
 	attach AttachmentProvider
 	closed bool
 }
@@ -219,6 +221,7 @@ func NewCentralizedClient(ep transport.Endpoint, server transport.PeerID, store 
 		server:  server,
 		store:   store,
 		pending: newPendingTable(),
+		clk:     dsim.Wall,
 	}
 	ep.SetHandler(c.handle)
 	return c
@@ -226,6 +229,22 @@ func NewCentralizedClient(ep transport.Endpoint, server transport.PeerID, store 
 
 // PeerID implements Network.
 func (c *CentralizedClient) PeerID() transport.PeerID { return c.ep.ID() }
+
+// SetClock installs the clock that paces this client's timeouts
+// (default wall). Call before traffic starts.
+func (c *CentralizedClient) SetClock(clk dsim.Clock) {
+	if clk != nil {
+		c.clk = clk
+	}
+}
+
+// Server returns the index server (or super-peer) this client is
+// currently attached to.
+func (c *CentralizedClient) Server() transport.PeerID {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.server
+}
 
 // SetAttachmentProvider implements Network.
 func (c *CentralizedClient) SetAttachmentProvider(p AttachmentProvider) {
@@ -240,7 +259,7 @@ func (c *CentralizedClient) Publish(doc *index.Document) error {
 		return err
 	}
 	return c.ep.Send(transport.Message{
-		To:      c.server,
+		To:      c.Server(),
 		Type:    MsgRegister,
 		Payload: marshal(registerPayloadFor(doc)),
 	})
@@ -257,6 +276,12 @@ func (c *CentralizedClient) PublishBatch(docs []*index.Document) error {
 	if err := c.store.PutBatch(docs); err != nil {
 		return err
 	}
+	return c.registerBatch(c.Server(), docs)
+}
+
+// registerBatch streams docs to the given server in register-batch
+// chunks.
+func (c *CentralizedClient) registerBatch(server transport.PeerID, docs []*index.Document) error {
 	for start := 0; start < len(docs); start += registerBatchChunk {
 		end := start + registerBatchChunk
 		if end > len(docs) {
@@ -267,7 +292,7 @@ func (c *CentralizedClient) PublishBatch(docs []*index.Document) error {
 			regs = append(regs, registerPayloadFor(doc))
 		}
 		err := c.ep.Send(transport.Message{
-			To:      c.server,
+			To:      server,
 			Type:    MsgRegisterBatch,
 			Payload: marshal(registerBatchPayload{Docs: regs}),
 		})
@@ -278,11 +303,28 @@ func (c *CentralizedClient) PublishBatch(docs []*index.Document) error {
 	return nil
 }
 
+// Rehome repoints the client at a new server (FastTrack leaves call
+// this when their super-peer fails) and re-registers every locally
+// stored document with it — the leaf re-registration path, driven by
+// the caller's failure-detection schedule rather than an internal
+// wall-clock timer.
+func (c *CentralizedClient) Rehome(server transport.PeerID) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	c.server = server
+	c.mu.Unlock()
+	docs := c.store.Search("", query.MatchAll{}, 0)
+	return c.registerBatch(server, docs)
+}
+
 // Unpublish implements Network.
 func (c *CentralizedClient) Unpublish(id index.DocID) error {
 	c.store.Delete(id)
 	return c.ep.Send(transport.Message{
-		To:      c.server,
+		To:      c.Server(),
 		Type:    MsgUnregister,
 		Payload: marshal(unregisterPayload{DocID: id}),
 	})
@@ -295,7 +337,7 @@ func (c *CentralizedClient) Search(communityID string, f query.Filter, opts Sear
 	}
 	reqID, ch := c.pending.create()
 	err := c.ep.Send(transport.Message{
-		To:   c.server,
+		To:   c.Server(),
 		Type: MsgSearch,
 		Payload: marshal(searchPayload{
 			ReqID:       reqID,
@@ -308,7 +350,7 @@ func (c *CentralizedClient) Search(communityID string, f query.Filter, opts Sear
 		c.pending.drop(reqID)
 		return nil, fmt.Errorf("p2p: search: %w", err)
 	}
-	raw, err := await(ch, opts.Timeout)
+	raw, err := await(c.clk, c.ep.Synchronous(), ch, opts.Timeout)
 	if err != nil {
 		c.pending.drop(reqID)
 		return nil, err
@@ -325,12 +367,12 @@ func (c *CentralizedClient) Retrieve(id index.DocID, from transport.PeerID) (*in
 	if from == c.PeerID() {
 		return c.store.Get(id)
 	}
-	return retrieveFrom(c.ep, c.pending, id, from, 0)
+	return retrieveFrom(c.clk, c.ep, c.pending, id, from, 0)
 }
 
 // RetrieveAttachment implements Network.
 func (c *CentralizedClient) RetrieveAttachment(uri string, from transport.PeerID) ([]byte, error) {
-	return retrieveAttachmentFrom(c.ep, c.pending, uri, from, 0)
+	return retrieveAttachmentFrom(c.clk, c.ep, c.pending, uri, from, 0)
 }
 
 // Close implements Network.

@@ -2,6 +2,7 @@ package p2p
 
 import (
 	"encoding/json"
+	"sort"
 	"sync"
 
 	"repro/internal/index"
@@ -33,10 +34,15 @@ type serverEntry struct {
 // SuperPeer is a FastTrack hub: it indexes its leaves' metadata and
 // floods queries across the super-peer overlay.
 type SuperPeer struct {
-	ep transport.Endpoint
+	ep    transport.Endpoint
+	guids *guidSource
 
 	mu        sync.RWMutex
 	leafIndex map[index.DocID][]serverEntry
+	// docIDs mirrors leafIndex's keys in sorted order, maintained on
+	// registration/removal, so every search iterates deterministically
+	// without re-sorting the keyset on the query hot path.
+	docIDs    []index.DocID
 	neighbors map[transport.PeerID]struct{}
 	seen      map[uint64]transport.PeerID
 	collect   map[uint64]*hitCollector
@@ -47,6 +53,7 @@ type SuperPeer struct {
 func NewSuperPeer(ep transport.Endpoint) *SuperPeer {
 	s := &SuperPeer{
 		ep:        ep,
+		guids:     newGUIDSource(ep.ID()),
 		leafIndex: make(map[index.DocID][]serverEntry),
 		neighbors: make(map[transport.PeerID]struct{}),
 		seen:      make(map[uint64]transport.PeerID),
@@ -66,6 +73,13 @@ func (s *SuperPeer) AddNeighbor(peer transport.PeerID) {
 	if peer != s.ep.ID() {
 		s.neighbors[peer] = struct{}{}
 	}
+}
+
+// RemoveNeighbor unlinks a failed super-peer from the overlay.
+func (s *SuperPeer) RemoveNeighbor(peer transport.PeerID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.neighbors, peer)
 }
 
 // Len returns the number of distinct documents indexed for leaves.
@@ -88,9 +102,31 @@ func (s *SuperPeer) DropLeaf(peer transport.PeerID) {
 		}
 		if len(kept) == 0 {
 			delete(s.leafIndex, id)
+			s.removeDocIDLocked(id)
 		} else {
 			s.leafIndex[id] = kept
 		}
+	}
+}
+
+// insertDocIDLocked adds id to the sorted keyset mirror (caller holds
+// mu; no-op if present).
+func (s *SuperPeer) insertDocIDLocked(id index.DocID) {
+	i := sort.Search(len(s.docIDs), func(k int) bool { return s.docIDs[k] >= id })
+	if i < len(s.docIDs) && s.docIDs[i] == id {
+		return
+	}
+	s.docIDs = append(s.docIDs, "")
+	copy(s.docIDs[i+1:], s.docIDs[i:])
+	s.docIDs[i] = id
+}
+
+// removeDocIDLocked drops id from the sorted keyset mirror (caller
+// holds mu).
+func (s *SuperPeer) removeDocIDLocked(id index.DocID) {
+	i := sort.Search(len(s.docIDs), func(k int) bool { return s.docIDs[k] >= id })
+	if i < len(s.docIDs) && s.docIDs[i] == id {
+		s.docIDs = append(s.docIDs[:i], s.docIDs[i+1:]...)
 	}
 }
 
@@ -131,6 +167,7 @@ func (s *SuperPeer) handle(msg transport.Message) {
 		}
 		if len(kept) == 0 {
 			delete(s.leafIndex, unreg.DocID)
+			s.removeDocIDLocked(unreg.DocID)
 		} else {
 			s.leafIndex[unreg.DocID] = kept
 		}
@@ -152,6 +189,9 @@ func (s *SuperPeer) registerLeaf(from transport.PeerID, regs []registerPayload) 
 	defer s.mu.Unlock()
 	for _, reg := range regs {
 		entries := s.leafIndex[reg.DocID]
+		if len(entries) == 0 {
+			s.insertDocIDLocked(reg.DocID)
+		}
 		replaced := false
 		for i, e := range entries {
 			if e.provider == from {
@@ -180,16 +220,13 @@ func (s *SuperPeer) handleLeafSearch(msg transport.Message) {
 	}
 	results := s.localSearch(req.CommunityID, f, req.Limit)
 
-	guid := nextGUID()
+	guid := s.guids.next()
 	col := &hitCollector{done: make(chan struct{}), limit: req.Limit}
 	col.add(results)
 	s.mu.Lock()
 	s.collect[guid] = col
 	s.seen[guid] = s.ep.ID()
-	neighbors := make([]transport.PeerID, 0, len(s.neighbors))
-	for n := range s.neighbors {
-		neighbors = append(neighbors, n)
-	}
+	neighbors := sortedPeers(s.neighbors)
 	s.mu.Unlock()
 	q := queryPayload{
 		GUID:        guid,
@@ -216,12 +253,17 @@ func (s *SuperPeer) handleLeafSearch(msg transport.Message) {
 	})
 }
 
+// localSearch scans the leaf index in DocID order (providers keep
+// registration order within a document), so identical registrations
+// always yield identically ordered hits — map-order results would leak
+// nondeterminism into every query-hit payload. The sorted docIDs
+// mirror makes this free at query time.
 func (s *SuperPeer) localSearch(communityID string, f query.Filter, limit int) []Result {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	var out []Result
-	for id, entries := range s.leafIndex {
-		for _, e := range entries {
+	for _, id := range s.docIDs {
+		for _, e := range s.leafIndex[id] {
 			if communityID != "" && e.communityID != communityID {
 				continue
 			}
@@ -254,10 +296,7 @@ func (s *SuperPeer) handleQuery(msg transport.Message) {
 		return
 	}
 	s.seen[q.GUID] = msg.From
-	neighbors := make([]transport.PeerID, 0, len(s.neighbors))
-	for n := range s.neighbors {
-		neighbors = append(neighbors, n)
-	}
+	neighbors := sortedPeers(s.neighbors)
 	s.mu.Unlock()
 	f, err := query.Parse(q.Filter)
 	if err != nil {
@@ -311,7 +350,9 @@ func (s *SuperPeer) handleQueryHit(msg transport.Message) {
 
 // FastTrackLeaf is an ordinary peer in the super-peer network. Its
 // wire behaviour toward the super-peer is exactly the centralized
-// client's, so it simply wraps one.
+// client's, so it simply wraps one — including Rehome, which moves the
+// leaf to a live super-peer and re-registers its documents after its
+// super-peer fails.
 type FastTrackLeaf struct {
 	*CentralizedClient
 }

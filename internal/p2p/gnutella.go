@@ -4,8 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"sync"
-	"time"
 
+	"repro/internal/dsim"
 	"repro/internal/index"
 	"repro/internal/query"
 	"repro/internal/transport"
@@ -19,6 +19,8 @@ type GnutellaNode struct {
 	ep      transport.Endpoint
 	store   *index.Store
 	pending *pendingTable
+	guids   *guidSource
+	clk     dsim.Clock
 
 	mu        sync.RWMutex
 	neighbors map[transport.PeerID]struct{}
@@ -70,12 +72,22 @@ func NewGnutellaNode(ep transport.Endpoint, store *index.Store) *GnutellaNode {
 		ep:        ep,
 		store:     store,
 		pending:   newPendingTable(),
+		guids:     newGUIDSource(ep.ID()),
+		clk:       dsim.Wall,
 		neighbors: make(map[transport.PeerID]struct{}),
 		seen:      make(map[uint64]transport.PeerID),
 		collect:   make(map[uint64]*hitCollector),
 	}
 	ep.SetHandler(g.handle)
 	return g
+}
+
+// SetClock installs the clock that paces this node's timeouts (default
+// wall). Call before traffic starts.
+func (g *GnutellaNode) SetClock(clk dsim.Clock) {
+	if clk != nil {
+		g.clk = clk
+	}
 }
 
 // PeerID implements Network.
@@ -98,15 +110,11 @@ func (g *GnutellaNode) RemoveNeighbor(peer transport.PeerID) {
 	delete(g.neighbors, peer)
 }
 
-// Neighbors returns the current neighbor set.
+// Neighbors returns the current neighbor set, sorted.
 func (g *GnutellaNode) Neighbors() []transport.PeerID {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-	out := make([]transport.PeerID, 0, len(g.neighbors))
-	for p := range g.neighbors {
-		out = append(out, p)
-	}
-	return out
+	return sortedPeers(g.neighbors)
 }
 
 // SetAttachmentProvider implements Network.
@@ -146,7 +154,7 @@ func (g *GnutellaNode) Search(communityID string, f query.Filter, opts SearchOpt
 	if ttl <= 0 {
 		ttl = DefaultTTL
 	}
-	guid := nextGUID()
+	guid := g.guids.next()
 	col := &hitCollector{done: make(chan struct{}), limit: opts.Limit}
 	g.mu.Lock()
 	if g.closed {
@@ -187,7 +195,7 @@ func (g *GnutellaNode) Search(communityID string, f query.Filter, opts SearchOpt
 	}
 	select {
 	case <-col.done:
-	case <-time.After(timeoutOr(opts.Timeout)):
+	case <-g.clk.After(timeoutOr(opts.Timeout)):
 	}
 	return col.snapshot(opts.Limit), nil
 }
@@ -198,12 +206,12 @@ func (g *GnutellaNode) Retrieve(id index.DocID, from transport.PeerID) (*index.D
 	if from == g.PeerID() {
 		return g.store.Get(id)
 	}
-	return retrieveFrom(g.ep, g.pending, id, from, 0)
+	return retrieveFrom(g.clk, g.ep, g.pending, id, from, 0)
 }
 
 // RetrieveAttachment implements Network.
 func (g *GnutellaNode) RetrieveAttachment(uri string, from transport.PeerID) ([]byte, error) {
-	return retrieveAttachmentFrom(g.ep, g.pending, uri, from, 0)
+	return retrieveAttachmentFrom(g.clk, g.ep, g.pending, uri, from, 0)
 }
 
 // Close implements Network.
@@ -218,12 +226,10 @@ func (g *GnutellaNode) Close() error {
 	return g.ep.Close()
 }
 
+// neighborList snapshots the neighbor set in sorted order (caller
+// holds mu): floods fan out deterministically, not in map order.
 func (g *GnutellaNode) neighborList() []transport.PeerID {
-	out := make([]transport.PeerID, 0, len(g.neighbors))
-	for p := range g.neighbors {
-		out = append(out, p)
-	}
-	return out
+	return sortedPeers(g.neighbors)
 }
 
 func (g *GnutellaNode) localResults(communityID string, f query.Filter, limit int) []Result {

@@ -25,10 +25,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/dsim"
 	"repro/internal/index"
 	"repro/internal/query"
 	"repro/internal/transport"
@@ -257,25 +260,65 @@ func (p *pendingTable) drop(id uint64) {
 	p.mu.Unlock()
 }
 
-// await waits for a response with a timeout.
-func await(ch chan json.RawMessage, timeout time.Duration) (json.RawMessage, error) {
+// await waits for a response with a timeout measured on clk. On a
+// synchronous transport the reply to a Send (if any) has already been
+// delivered by the time Send returned, so an empty channel is a
+// definitive timeout: await returns immediately instead of blocking a
+// wall-clock timeout out, which is what lets lossy simulations run
+// 100k queries in seconds and keeps virtual clocks free of real
+// waiting.
+func await(clk dsim.Clock, synchronous bool, ch chan json.RawMessage, timeout time.Duration) (json.RawMessage, error) {
+	select {
+	case payload := <-ch:
+		return payload, nil
+	default:
+	}
+	if synchronous {
+		return nil, ErrTimeout
+	}
 	if timeout <= 0 {
 		timeout = DefaultTimeout
+	}
+	if clk == nil {
+		clk = dsim.Wall
 	}
 	select {
 	case payload := <-ch:
 		return payload, nil
-	case <-time.After(timeout):
+	case <-clk.After(timeout):
 		return nil, ErrTimeout
 	}
 }
 
-// guidCounter produces unique query GUIDs per process; combined with
-// the origin peer ID they are globally unique enough for duplicate
-// suppression.
-var guidCounter atomic.Uint64
+// guidSource issues query GUIDs that are unique across the network yet
+// deterministic per run: the high bits hash the issuing peer's ID, the
+// low 24 bits count locally. A process-global counter would leak state
+// between runs and break golden-trace reproducibility (two identical
+// scenarios in one process would flood with different GUIDs).
+type guidSource struct {
+	prefix uint64
+	ctr    atomic.Uint64
+}
 
-func nextGUID() uint64 { return guidCounter.Add(1) }
+func newGUIDSource(id transport.PeerID) *guidSource {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return &guidSource{prefix: h.Sum64() << 24}
+}
+
+func (g *guidSource) next() uint64 { return g.prefix | (g.ctr.Add(1) & (1<<24 - 1)) }
+
+// sortedPeers snapshots a peer set in sorted order, so floods fan out
+// in an order independent of map iteration — a precondition for
+// deterministic traces and loss decisions.
+func sortedPeers(m map[transport.PeerID]struct{}) []transport.PeerID {
+	out := make([]transport.PeerID, 0, len(m))
+	for p := range m {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
 
 // serveFetch answers MsgFetch from a local store: the provider side of
 // Retrieve, shared by both protocols.
@@ -318,7 +361,7 @@ func serveAttachment(ep transport.Endpoint, provider AttachmentProvider, msg tra
 
 // retrieveFrom implements the client side of Retrieve for both
 // protocols.
-func retrieveFrom(ep transport.Endpoint, pending *pendingTable, id index.DocID, from transport.PeerID, timeout time.Duration) (*index.Document, error) {
+func retrieveFrom(clk dsim.Clock, ep transport.Endpoint, pending *pendingTable, id index.DocID, from transport.PeerID, timeout time.Duration) (*index.Document, error) {
 	reqID, ch := pending.create()
 	err := ep.Send(transport.Message{
 		To:      from,
@@ -329,7 +372,7 @@ func retrieveFrom(ep transport.Endpoint, pending *pendingTable, id index.DocID, 
 		pending.drop(reqID)
 		return nil, fmt.Errorf("p2p: fetch: %w", err)
 	}
-	raw, err := await(ch, timeout)
+	raw, err := await(clk, ep.Synchronous(), ch, timeout)
 	if err != nil {
 		pending.drop(reqID)
 		return nil, err
@@ -346,7 +389,7 @@ func retrieveFrom(ep transport.Endpoint, pending *pendingTable, id index.DocID, 
 
 // retrieveAttachmentFrom implements the client side of attachment
 // download for both protocols.
-func retrieveAttachmentFrom(ep transport.Endpoint, pending *pendingTable, uri string, from transport.PeerID, timeout time.Duration) ([]byte, error) {
+func retrieveAttachmentFrom(clk dsim.Clock, ep transport.Endpoint, pending *pendingTable, uri string, from transport.PeerID, timeout time.Duration) ([]byte, error) {
 	reqID, ch := pending.create()
 	err := ep.Send(transport.Message{
 		To:      from,
@@ -357,7 +400,7 @@ func retrieveAttachmentFrom(ep transport.Endpoint, pending *pendingTable, uri st
 		pending.drop(reqID)
 		return nil, fmt.Errorf("p2p: attachment: %w", err)
 	}
-	raw, err := await(ch, timeout)
+	raw, err := await(clk, ep.Synchronous(), ch, timeout)
 	if err != nil {
 		pending.drop(reqID)
 		return nil, err

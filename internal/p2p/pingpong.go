@@ -57,7 +57,7 @@ func (g *GnutellaNode) Discover(ttl int) []transport.PeerID {
 	if ttl <= 0 {
 		ttl = 2
 	}
-	guid := nextGUID()
+	guid := g.guids.next()
 	g.mu.Lock()
 	if g.closed {
 		g.mu.Unlock()

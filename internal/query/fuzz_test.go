@@ -10,7 +10,10 @@ import (
 // TestPropertyParserNeverPanics feeds the parser adversarial strings
 // assembled from the filter grammar's alphabet: it must either parse
 // or return an error, never panic, and parsed filters must evaluate
-// without panicking.
+// without panicking. (Evaluation-correctness fuzzing — random filters
+// against corpus-generated documents, checked against a naive linear
+// scan — lives in fuzz_corpus_test.go, in the external test package so
+// it can import the store.)
 func TestPropertyParserNeverPanics(t *testing.T) {
 	alphabet := []string{
 		"(", ")", "&", "|", "!", "=", "~=", ">=", "<=", ">", "<", "*",

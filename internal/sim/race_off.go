@@ -1,0 +1,7 @@
+//go:build !race
+
+package sim
+
+// raceEnabled reports whether the race detector is compiled in;
+// timing-sensitive tests skip under its ~10x slowdown.
+const raceEnabled = false

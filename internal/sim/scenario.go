@@ -1,0 +1,448 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/dsim"
+	"repro/internal/index"
+	"repro/internal/p2p"
+	"repro/internal/query"
+)
+
+// ScenarioConfig describes one discrete-event experiment over a
+// cluster: a query workload with optional churn (Poisson arrivals and
+// departures), a flash-crowd burst, and super-peer failure/failover,
+// all paced on a virtual clock. Every random choice derives from Seed,
+// so a scenario is bit-for-bit reproducible: two runs produce the same
+// message trace hash.
+type ScenarioConfig struct {
+	// Cluster is the deployment to drive. Its Clock and Trace fields
+	// are overridden (scenarios always run on a fresh virtual clock
+	// with tracing on).
+	Cluster Config
+	// Seed drives workload randomness; 0 borrows Cluster.Seed.
+	Seed int64
+	// Duration is the virtual length of the run.
+	Duration time.Duration
+	// QueryRate is the mean query arrival rate per virtual second.
+	QueryRate float64
+	// QueryTTL bounds flooding searches (0 = protocol default).
+	QueryTTL int
+	// InitialObjects seeds the community before the run.
+	InitialObjects int
+	// ArrivalRate / DepartureRate are mean peer churn rates per virtual
+	// second (0 = no churn of that kind).
+	ArrivalRate   float64
+	DepartureRate float64
+	// ObjectsPerArrival is how many fresh objects each arriving peer
+	// publishes (default 1).
+	ObjectsPerArrival int
+	// BurstAt, if positive, triggers a flash crowd: BurstQueries
+	// back-to-back queries for one popular filter at that instant.
+	BurstAt      time.Duration
+	BurstQueries int
+	// FailSupersAt, if positive, kills FailSupers random live
+	// super-peers at that instant (FastTrack only); orphaned leaves
+	// rehome RehomeDelay later.
+	FailSupersAt time.Duration
+	FailSupers   int
+	RehomeDelay  time.Duration
+}
+
+// QuerySample is one measured query.
+type QuerySample struct {
+	// At is the virtual instant the query ran.
+	At time.Duration
+	// Recall is found/expected over live ground truth, or -1 when
+	// nothing was expected (excluded from aggregates).
+	Recall float64
+	// Latency is the query's virtual completion time: the cumulative
+	// link latency of the longest delivery chain it triggered.
+	Latency time.Duration
+	// Messages is the number of network messages the query cost.
+	Messages int64
+	// Results is the number of hits returned.
+	Results int
+}
+
+// ScenarioResult aggregates one run.
+type ScenarioResult struct {
+	Protocol string
+	Samples  []QuerySample
+	Queries  int
+	// Failed counts queries that returned an error (e.g. timeouts
+	// under loss); they carry recall 0 in Samples.
+	Failed     int
+	Arrivals   int
+	Departures int
+	Rehomed    int
+	Messages   int64
+	Dropped    int64
+	TraceHash  uint64
+	TraceLen   uint64
+	FinalPeers int
+	// Elapsed is the real (wall) time the run took — the number that
+	// shows virtual hours costing real seconds.
+	Elapsed time.Duration
+}
+
+// MsgsPerQuery is the mean network cost per query.
+func (r *ScenarioResult) MsgsPerQuery() float64 {
+	if r.Queries == 0 {
+		return 0
+	}
+	total := int64(0)
+	for _, s := range r.Samples {
+		total += s.Messages
+	}
+	return float64(total) / float64(r.Queries)
+}
+
+// MeanRecall averages recall over samples with ground truth, within
+// [from, to) virtual time; pass 0,0 for the whole run. NaN when the
+// window holds no measured queries — absence of data must not read as
+// perfect recall.
+func (r *ScenarioResult) MeanRecall(from, to time.Duration) float64 {
+	sum, n := 0.0, 0
+	for _, s := range r.Samples {
+		if s.Recall < 0 {
+			continue
+		}
+		if to > 0 && (s.At < from || s.At >= to) {
+			continue
+		}
+		sum += s.Recall
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// LatencyPercentile returns the p-th percentile (0 < p <= 100) of
+// virtual query latency.
+func (r *ScenarioResult) LatencyPercentile(p float64) time.Duration {
+	if len(r.Samples) == 0 {
+		return 0
+	}
+	lats := make([]time.Duration, len(r.Samples))
+	for i, s := range r.Samples {
+		lats[i] = s.Latency
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	idx := int(p/100*float64(len(lats))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(lats) {
+		idx = len(lats) - 1
+	}
+	return lats[idx]
+}
+
+// docTruth is driver-side ground truth for one published object.
+type docTruth struct {
+	attrs   query.Attrs
+	holders map[int]bool // servent index -> holds a copy
+}
+
+// scenario is the running state of one RunScenario call.
+type scenario struct {
+	cfg     ScenarioConfig
+	clk     *dsim.VirtualClock
+	cluster *Cluster
+	comm    *core.Community
+	rng     *rand.Rand
+	start   time.Time
+	end     time.Time
+	truth   map[index.DocID]*docTruth
+	nextObj int64
+	res     *ScenarioResult
+	err     error
+}
+
+// queryTemplates are the workload's filter mix. The first is the
+// "popular" query flash crowds pile onto.
+var queryTemplates = []string{
+	"(classification=behavioral)",
+	"(classification=creational)",
+	"(classification=structural)",
+	"(keywords=notification)",
+	"(name=*)",
+}
+
+// RunScenario executes one scenario and returns its measurements. The
+// entire run — churn, bursts, failures, 100k-query workloads — executes
+// without any real waiting: virtual time jumps between events and
+// protocol timeouts resolve synchronously.
+func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
+	if cfg.Duration <= 0 {
+		cfg.Duration = time.Minute
+	}
+	if cfg.QueryRate <= 0 {
+		cfg.QueryRate = 1
+	}
+	if cfg.InitialObjects <= 0 {
+		cfg.InitialObjects = 2 * cfg.Cluster.Peers
+	}
+	if cfg.ObjectsPerArrival <= 0 {
+		cfg.ObjectsPerArrival = 1
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = cfg.Cluster.Seed
+	}
+	started := time.Now()
+	clk := dsim.NewVirtualClock()
+	ccfg := cfg.Cluster
+	ccfg.Clock = clk
+	ccfg.Trace = true
+	cluster, err := NewCluster(ccfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &scenario{
+		cfg:     cfg,
+		clk:     clk,
+		cluster: cluster,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		start:   clk.Now(),
+		end:     clk.Now().Add(cfg.Duration),
+		truth:   make(map[index.DocID]*docTruth),
+		res:     &ScenarioResult{Protocol: cfg.Cluster.Protocol.String()},
+	}
+	if err := s.bootstrap(); err != nil {
+		return nil, err
+	}
+	s.scheduleStreams()
+	clk.RunUntil(s.end)
+	if s.err != nil {
+		return nil, s.err
+	}
+	st := cluster.Stats()
+	s.res.Messages = st.Messages
+	s.res.Dropped = st.Dropped
+	s.res.TraceHash = cluster.Net.TraceHash()
+	s.res.TraceLen = cluster.Net.TraceLen()
+	s.res.FinalPeers = len(cluster.LivePeers())
+	s.res.Elapsed = time.Since(started)
+	return s.res, nil
+}
+
+// bootstrap creates the community everywhere and seeds the corpus
+// round-robin across the initial peers.
+func (s *scenario) bootstrap() error {
+	comm, err := s.cluster.SeedCommunity(0, core.CommunitySpec{
+		Name:      "patterns",
+		Keywords:  "gof design software",
+		SchemaSrc: corpus.PatternSchemaSrc,
+	})
+	if err != nil {
+		return err
+	}
+	s.comm = comm
+	if err := s.cluster.InstallCommunityAll(comm); err != nil {
+		return err
+	}
+	live := s.cluster.LivePeers()
+	for i := 0; i < s.cfg.InitialObjects; i++ {
+		if err := s.publishFresh(live[i%len(live)]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// publishFresh publishes one new corpus object on peer p and records
+// its ground truth.
+func (s *scenario) publishFresh(p int) error {
+	obj := corpus.DesignPatterns(1, s.cfg.Seed+s.nextObj).Objects[0]
+	s.nextObj++
+	sv := s.cluster.Servents[p]
+	id, err := sv.Publish(s.comm.ID, obj.Doc.Clone(), nil)
+	if err != nil {
+		return fmt.Errorf("sim: scenario publish on peer %d: %w", p, err)
+	}
+	doc, err := sv.Store().Get(id)
+	if err != nil {
+		return err
+	}
+	t := s.truth[id]
+	if t == nil {
+		t = &docTruth{attrs: doc.Attrs, holders: make(map[int]bool)}
+		s.truth[id] = t
+	}
+	t.holders[p] = true
+	return nil
+}
+
+// expected counts ground-truth documents matching f that at least one
+// live peer holds.
+func (s *scenario) expected(f query.Filter) map[index.DocID]bool {
+	out := make(map[index.DocID]bool)
+	for id, t := range s.truth {
+		if !f.Match(t.attrs) {
+			continue
+		}
+		for p := range t.holders {
+			if s.cluster.Alive(p) {
+				out[id] = true
+				break
+			}
+		}
+	}
+	return out
+}
+
+// scheduleStreams starts the self-rescheduling Poisson event streams
+// and the one-shot burst/failure events.
+func (s *scenario) scheduleStreams() {
+	s.schedulePoisson(s.cfg.QueryRate, func(time.Time) { s.runQuery(s.pickTemplate()) })
+	s.schedulePoisson(s.cfg.ArrivalRate, func(time.Time) { s.runArrival() })
+	s.schedulePoisson(s.cfg.DepartureRate, func(time.Time) { s.runDeparture() })
+	if s.cfg.BurstAt > 0 && s.cfg.BurstQueries > 0 {
+		s.clk.Schedule(s.cfg.BurstAt, func(time.Time) {
+			for i := 0; i < s.cfg.BurstQueries && s.err == nil; i++ {
+				s.runQuery(queryTemplates[0])
+			}
+		})
+	}
+	if s.cfg.FailSupersAt > 0 && s.cfg.FailSupers > 0 {
+		s.clk.Schedule(s.cfg.FailSupersAt, func(time.Time) { s.runSuperFailure() })
+	}
+}
+
+// schedulePoisson schedules fn with exponential inter-event gaps of
+// mean 1/rate, each firing rescheduling the next until the horizon.
+func (s *scenario) schedulePoisson(rate float64, fn func(time.Time)) {
+	if rate <= 0 {
+		return
+	}
+	var fire func(time.Time)
+	next := func() time.Duration {
+		return time.Duration(s.rng.ExpFloat64() / rate * float64(time.Second))
+	}
+	fire = func(now time.Time) {
+		if s.err != nil || now.After(s.end) {
+			return
+		}
+		fn(now)
+		s.clk.Schedule(next(), fire)
+	}
+	s.clk.Schedule(next(), fire)
+}
+
+func (s *scenario) pickTemplate() string {
+	return queryTemplates[s.rng.Intn(len(queryTemplates))]
+}
+
+// runQuery issues one search from a random live peer and samples its
+// cost, virtual latency, and recall.
+func (s *scenario) runQuery(filter string) {
+	live := s.cluster.LivePeers()
+	if len(live) == 0 {
+		return
+	}
+	from := live[s.rng.Intn(len(live))]
+	f := query.MustParse(filter)
+	want := s.expected(f)
+
+	before := s.cluster.Stats().Messages
+	s.cluster.Net.ResetPath()
+	rs, err := s.cluster.SearchFrom(from, s.comm.ID, f, p2p.SearchOptions{TTL: s.cfg.QueryTTL})
+	sample := QuerySample{
+		At:       s.clk.Now().Sub(s.start),
+		Latency:  s.cluster.Net.MaxPathLatency(),
+		Messages: s.cluster.Stats().Messages - before,
+		Results:  len(rs),
+	}
+	found := 0
+	seen := make(map[index.DocID]bool)
+	for _, r := range rs {
+		if want[r.DocID] && !seen[r.DocID] {
+			seen[r.DocID] = true
+			found++
+		}
+	}
+	switch {
+	case len(want) == 0:
+		sample.Recall = -1
+	default:
+		sample.Recall = float64(found) / float64(len(want))
+	}
+	if err != nil {
+		s.res.Failed++
+		if len(want) > 0 {
+			sample.Recall = 0
+		}
+	}
+	s.res.Samples = append(s.res.Samples, sample)
+	s.res.Queries++
+}
+
+// runArrival adds a peer, hands it the community, and has it publish.
+func (s *scenario) runArrival() {
+	i, err := s.cluster.AddPeer()
+	if err != nil {
+		s.err = err
+		return
+	}
+	if err := s.cluster.Servents[i].AdoptCommunity(s.comm); err != nil {
+		s.err = err
+		return
+	}
+	for k := 0; k < s.cfg.ObjectsPerArrival; k++ {
+		if err := s.publishFresh(i); err != nil {
+			s.err = err
+			return
+		}
+	}
+	s.res.Arrivals++
+}
+
+// runDeparture kills a random live peer (keeping at least one).
+func (s *scenario) runDeparture() {
+	live := s.cluster.LivePeers()
+	if len(live) < 2 {
+		return
+	}
+	victim := live[s.rng.Intn(len(live))]
+	s.cluster.KillPeer(victim)
+	s.res.Departures++
+}
+
+// runSuperFailure kills the configured number of random live
+// super-peers and schedules the orphans' rehoming. A no-op outside
+// FastTrack (no super-peers to fail).
+func (s *scenario) runSuperFailure() {
+	live := s.cluster.liveSupers()
+	if len(live) < 2 {
+		return // nothing to fail, or failing would kill the overlay
+	}
+	kills := s.cfg.FailSupers
+	if kills >= len(live) {
+		kills = len(live) - 1 // keep the overlay alive
+	}
+	s.rng.Shuffle(len(live), func(a, b int) { live[a], live[b] = live[b], live[a] })
+	for _, sp := range live[:kills] {
+		s.cluster.FailSuperPeer(sp)
+	}
+	delay := s.cfg.RehomeDelay
+	if delay <= 0 {
+		delay = time.Second
+	}
+	s.clk.Schedule(delay, func(time.Time) {
+		moved, err := s.cluster.RehomeOrphans()
+		if err != nil {
+			s.err = err
+			return
+		}
+		s.res.Rehomed += moved
+	})
+}

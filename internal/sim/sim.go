@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/dsim"
 	"repro/internal/index"
 	"repro/internal/p2p"
 	"repro/internal/query"
@@ -62,6 +63,16 @@ type Config struct {
 	DropRate float64
 	// Latency is the per-hop virtual latency.
 	Latency time.Duration
+	// Jitter spreads per-link latency by ±Jitter around Latency,
+	// deterministically per link (dsim.LinkLatency).
+	Jitter time.Duration
+	// Clock paces protocol timeouts and scenario events; nil means the
+	// wall clock. Scenarios install a dsim.VirtualClock so runs never
+	// wait in real time.
+	Clock dsim.Clock
+	// Trace enables message-trace hashing on the network (golden-trace
+	// determinism tests).
+	Trace bool
 }
 
 // Cluster is a running multi-peer deployment.
@@ -70,14 +81,20 @@ type Cluster struct {
 	Net *transport.MemNetwork
 	// Server is the central index (nil under Gnutella).
 	Server *p2p.IndexServer
-	// Servents are the peers, index-addressable.
+	// Servents are the peers, index-addressable. Slots of departed
+	// peers stay occupied (Alive reports liveness); arrivals append.
 	Servents []*core.Servent
 
+	cfg    Config
+	clock  dsim.Clock
 	nodes  []*p2p.GnutellaNode // parallel to Servents under Gnutella
 	supers []*p2p.SuperPeer    // FastTrack super-peer overlay
-	// leafSuper maps servent index to its super-peer (FastTrack).
-	leafSuper []int
-	rng       *rand.Rand
+	// leafSuper maps servent index to its super-peer (FastTrack);
+	// -1 when the super failed and the leaf has not rehomed yet.
+	leafSuper  []int
+	alive      []bool
+	superAlive []bool
+	rng        *rand.Rand
 }
 
 // NewCluster builds and wires a cluster.
@@ -92,11 +109,20 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if cfg.DropRate > 0 {
 		opts = append(opts, transport.WithDropRate(cfg.DropRate))
 	}
-	if cfg.Latency > 0 {
+	if cfg.Jitter > 0 {
+		opts = append(opts, transport.WithLatencyModel(dsim.LinkLatency(cfg.Seed, cfg.Latency, cfg.Jitter)))
+	} else if cfg.Latency > 0 {
 		opts = append(opts, transport.WithFixedLatency(cfg.Latency))
 	}
+	if cfg.Trace {
+		opts = append(opts, transport.WithTrace())
+	}
 	net := transport.NewMemNetwork(opts...)
-	c := &Cluster{Net: net, rng: rand.New(rand.NewSource(cfg.Seed))}
+	clk := cfg.Clock
+	if clk == nil {
+		clk = dsim.Wall
+	}
+	c := &Cluster{Net: net, cfg: cfg, clock: clk, rng: rand.New(rand.NewSource(cfg.Seed))}
 
 	switch cfg.Protocol {
 	case Centralized:
@@ -105,35 +131,8 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			return nil, err
 		}
 		c.Server = p2p.NewIndexServer(sep)
-		for i := 0; i < cfg.Peers; i++ {
-			ep, err := net.Endpoint(peerID(i))
-			if err != nil {
-				return nil, err
-			}
-			st := index.NewStore()
-			client := p2p.NewCentralizedClient(ep, "server", st)
-			sv, err := core.NewServent(client, st)
-			if err != nil {
-				return nil, err
-			}
-			c.Servents = append(c.Servents, sv)
-		}
 	case Gnutella:
-		for i := 0; i < cfg.Peers; i++ {
-			ep, err := net.Endpoint(peerID(i))
-			if err != nil {
-				return nil, err
-			}
-			st := index.NewStore()
-			node := p2p.NewGnutellaNode(ep, st)
-			sv, err := core.NewServent(node, st)
-			if err != nil {
-				return nil, err
-			}
-			c.nodes = append(c.nodes, node)
-			c.Servents = append(c.Servents, sv)
-		}
-		c.wireOverlay(cfg.Degree)
+		// Peers carry the whole overlay; nothing global to set up.
 	case FastTrack:
 		superN := cfg.SuperPeers
 		if superN <= 0 {
@@ -148,30 +147,214 @@ func NewCluster(cfg Config) (*Cluster, error) {
 				return nil, err
 			}
 			c.supers = append(c.supers, p2p.NewSuperPeer(ep))
+			c.superAlive = append(c.superAlive, true)
 		}
+		// Full mesh: super-peer counts are small (N/8), and a mesh keeps
+		// the overlay connected under super-peer failures, so failover
+		// recovery is limited by re-registration, not by topology luck.
 		for i := 0; i < superN; i++ {
-			c.supers[i].AddNeighbor(c.supers[(i+1)%superN].PeerID())
-			c.supers[(i+1)%superN].AddNeighbor(c.supers[i].PeerID())
-		}
-		for i := 0; i < cfg.Peers; i++ {
-			ep, err := net.Endpoint(peerID(i))
-			if err != nil {
-				return nil, err
+			for j := 0; j < superN; j++ {
+				if i != j {
+					c.supers[i].AddNeighbor(c.supers[j].PeerID())
+				}
 			}
-			st := index.NewStore()
-			superIdx := i % superN
-			leaf := p2p.NewFastTrackLeaf(ep, c.supers[superIdx].PeerID(), st)
-			sv, err := core.NewServent(leaf, st)
-			if err != nil {
-				return nil, err
-			}
-			c.Servents = append(c.Servents, sv)
-			c.leafSuper = append(c.leafSuper, superIdx)
 		}
 	default:
 		return nil, fmt.Errorf("sim: unknown protocol %v", cfg.Protocol)
 	}
+	for i := 0; i < cfg.Peers; i++ {
+		if _, err := c.newPeer(); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Protocol == Gnutella {
+		c.wireOverlay(cfg.Degree)
+	}
 	return c, nil
+}
+
+// newPeer attaches one servent of the cluster's protocol, returning
+// its index. It does not wire Gnutella overlay links.
+func (c *Cluster) newPeer() (int, error) {
+	i := len(c.Servents)
+	ep, err := c.Net.Endpoint(peerID(i))
+	if err != nil {
+		return -1, err
+	}
+	st := index.NewStore()
+	var netw p2p.Network
+	switch c.cfg.Protocol {
+	case Centralized:
+		client := p2p.NewCentralizedClient(ep, "server", st)
+		client.SetClock(c.clock)
+		netw = client
+	case Gnutella:
+		node := p2p.NewGnutellaNode(ep, st)
+		node.SetClock(c.clock)
+		c.nodes = append(c.nodes, node)
+		netw = node
+	case FastTrack:
+		var superIdx int
+		if i < c.cfg.Peers {
+			// Construction: round-robin, the historical placement.
+			superIdx = i % len(c.supers)
+		} else {
+			// Churn arrival: a random live super-peer.
+			live := c.liveSupers()
+			if len(live) == 0 {
+				return -1, fmt.Errorf("sim: no live super-peer for arrival")
+			}
+			superIdx = live[c.rng.Intn(len(live))]
+		}
+		leaf := p2p.NewFastTrackLeaf(ep, c.supers[superIdx].PeerID(), st)
+		leaf.SetClock(c.clock)
+		c.leafSuper = append(c.leafSuper, superIdx)
+		netw = leaf
+	default:
+		return -1, fmt.Errorf("sim: unknown protocol %v", c.cfg.Protocol)
+	}
+	sv, err := core.NewServent(netw, st)
+	if err != nil {
+		return -1, err
+	}
+	c.Servents = append(c.Servents, sv)
+	c.alive = append(c.alive, true)
+	return i, nil
+}
+
+// AddPeer attaches a new servent mid-run — a churn arrival. Under
+// Gnutella the newcomer links to Degree random live peers (its
+// bootstrap neighbors); under FastTrack it registers with a random
+// live super-peer. The caller typically follows with AdoptCommunity
+// and publication on the returned servent.
+func (c *Cluster) AddPeer() (int, error) {
+	i, err := c.newPeer()
+	if err != nil {
+		return -1, err
+	}
+	if c.cfg.Protocol == Gnutella {
+		var candidates []int
+		for j := range c.nodes {
+			if j != i && c.alive[j] && c.nodes[j] != nil {
+				candidates = append(candidates, j)
+			}
+		}
+		c.rng.Shuffle(len(candidates), func(a, b int) {
+			candidates[a], candidates[b] = candidates[b], candidates[a]
+		})
+		links := c.cfg.Degree
+		if links > len(candidates) {
+			links = len(candidates)
+		}
+		for _, j := range candidates[:links] {
+			c.nodes[i].AddNeighbor(c.nodes[j].PeerID())
+			c.nodes[j].AddNeighbor(c.nodes[i].PeerID())
+		}
+	}
+	return i, nil
+}
+
+// Alive reports whether servent i is still attached.
+func (c *Cluster) Alive(i int) bool { return c.alive[i] }
+
+// LivePeers returns the indexes of live servents, ascending.
+func (c *Cluster) LivePeers() []int {
+	var out []int
+	for i, a := range c.alive {
+		if a {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Clock returns the clock the cluster's protocol layers run on.
+func (c *Cluster) Clock() dsim.Clock { return c.clock }
+
+// NumSuperPeers returns the super-peer count (0 outside FastTrack).
+func (c *Cluster) NumSuperPeers() int { return len(c.supers) }
+
+// SuperAlive reports whether super-peer s is still up.
+func (c *Cluster) SuperAlive(s int) bool { return c.superAlive[s] }
+
+func (c *Cluster) liveSupers() []int {
+	var out []int
+	for s, a := range c.superAlive {
+		if a {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// FailSuperPeer kills super-peer s: its endpoint closes, surviving
+// super-peers unlink it, and its leaves are orphaned — unable to
+// search or be found — until RehomeOrphans runs. The gap between the
+// two calls is the failure-detection delay, which scenarios model on
+// the virtual clock.
+func (c *Cluster) FailSuperPeer(s int) {
+	if s < 0 || s >= len(c.supers) || !c.superAlive[s] {
+		return
+	}
+	c.superAlive[s] = false
+	dead := c.supers[s]
+	_ = dead.Close()
+	for j, other := range c.supers {
+		if j != s && c.superAlive[j] {
+			other.RemoveNeighbor(dead.PeerID())
+		}
+	}
+	for i, sp := range c.leafSuper {
+		if sp == s {
+			c.leafSuper[i] = -1
+		}
+	}
+}
+
+// RehomeOrphans re-attaches every live leaf whose super-peer failed to
+// a random live super-peer, re-registering its documents (FastTrack's
+// leaf re-registration). It returns how many leaves moved.
+func (c *Cluster) RehomeOrphans() (int, error) {
+	if c.cfg.Protocol != FastTrack {
+		return 0, nil
+	}
+	live := c.liveSupers()
+	if len(live) == 0 {
+		return 0, fmt.Errorf("sim: no live super-peers to rehome onto")
+	}
+	moved := 0
+	for i, sp := range c.leafSuper {
+		if sp != -1 || !c.alive[i] {
+			continue
+		}
+		leaf, ok := c.Servents[i].Network().(*p2p.FastTrackLeaf)
+		if !ok {
+			continue
+		}
+		target := live[c.rng.Intn(len(live))]
+		if err := leaf.Rehome(c.supers[target].PeerID()); err != nil {
+			return moved, fmt.Errorf("sim: rehome peer %d: %w", i, err)
+		}
+		c.leafSuper[i] = target
+		moved++
+	}
+	return moved, nil
+}
+
+// InstallCommunityAll installs comm on every live servent directly,
+// without discovery traffic: the out-of-band bootstrap used by large
+// scenarios where per-peer discovery floods would swamp the measured
+// workload. Peers that already joined are skipped.
+func (c *Cluster) InstallCommunityAll(comm *core.Community) error {
+	for i, sv := range c.Servents {
+		if !c.alive[i] || sv.IsJoined(comm.ID) {
+			continue
+		}
+		if err := sv.AdoptCommunity(comm); err != nil {
+			return fmt.Errorf("sim: install community on peer %d: %w", i, err)
+		}
+	}
+	return nil
 }
 
 func peerID(i int) transport.PeerID {
@@ -229,6 +412,9 @@ func (c *Cluster) SeedCommunity(creator int, spec core.CommunitySpec) (*core.Com
 func (c *Cluster) DiscoverAndJoinAll(name string, ttl int) (int, error) {
 	joined := 0
 	for i, sv := range c.Servents {
+		if !c.alive[i] {
+			continue
+		}
 		if has, _ := c.hasCommunityNamed(sv, name); has {
 			joined++
 			continue
@@ -262,8 +448,8 @@ func (c *Cluster) hasCommunityNamed(sv *core.Servent, name string) (bool, string
 // with objs.
 func (c *Cluster) PublishRoundRobin(communityID string, objs []corpus.Object) ([]index.DocID, error) {
 	var members []*core.Servent
-	for _, sv := range c.Servents {
-		if sv.IsJoined(communityID) {
+	for i, sv := range c.Servents {
+		if c.alive[i] && sv.IsJoined(communityID) {
 			members = append(members, sv)
 		}
 	}
@@ -300,15 +486,19 @@ func (c *Cluster) PublishRoundRobin(communityID string, objs []corpus.Object) ([
 
 // KillPeer detaches a servent abruptly (churn/fault injection): its
 // endpoint closes, the central index drops its registrations, and
-// overlay neighbors unlink it.
+// overlay neighbors unlink it. Killing a dead peer is a no-op.
 func (c *Cluster) KillPeer(i int) {
+	if !c.alive[i] {
+		return
+	}
+	c.alive[i] = false
 	sv := c.Servents[i]
 	peer := sv.PeerID()
 	_ = sv.Close()
 	if c.Server != nil {
 		c.Server.DropPeer(peer)
 	}
-	if c.leafSuper != nil {
+	if c.leafSuper != nil && c.leafSuper[i] >= 0 {
 		c.supers[c.leafSuper[i]].DropLeaf(peer)
 	}
 	for j, node := range c.nodes {

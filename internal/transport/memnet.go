@@ -2,6 +2,7 @@ package transport
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"sync"
 	"time"
@@ -22,11 +23,24 @@ type MemNetwork struct {
 	rng       *rand.Rand
 	rngMu     sync.Mutex
 	dropRate  float64
+	dropModel func(from, to PeerID) float64
 	latency   func(from, to PeerID) time.Duration
 	parts     map[[2]PeerID]bool
 
 	stats   Stats
 	statsMu sync.Mutex
+	// maxVT is the high-water cumulative virtual latency reached by any
+	// delivery since the last ResetPath: on the synchronous network a
+	// cascade's maxVT is the virtual instant its last message lands,
+	// i.e. the query's virtual completion latency.
+	maxVT time.Duration
+	// trace, when enabled, folds every delivery attempt (including
+	// drops) into a running FNV-1a hash: two runs of one deterministic
+	// scenario produce identical hashes, and any divergence in message
+	// order, content, or loss decisions changes the hash.
+	traceOn  bool
+	trace    uint64
+	traceLen uint64
 }
 
 // MemOption configures a MemNetwork.
@@ -50,6 +64,20 @@ func WithLatencyModel(f func(from, to PeerID) time.Duration) MemOption {
 // WithFixedLatency charges a constant virtual latency per hop.
 func WithFixedLatency(d time.Duration) MemOption {
 	return WithLatencyModel(func(PeerID, PeerID) time.Duration { return d })
+}
+
+// WithDropModel sets a per-link drop probability, overriding the
+// global drop rate for links where it returns a positive value (e.g.
+// dsim.LinkLoss). Loss decisions still come from the seeded PRNG so
+// they stay reproducible given a deterministic delivery order.
+func WithDropModel(f func(from, to PeerID) float64) MemOption {
+	return func(n *MemNetwork) { n.dropModel = f }
+}
+
+// WithTrace enables message-trace hashing from the start (see
+// TraceHash).
+func WithTrace() MemOption {
+	return func(n *MemNetwork) { n.traceOn = true }
 }
 
 // NewMemNetwork creates an empty hub.
@@ -110,6 +138,68 @@ func (n *MemNetwork) ResetStats() {
 	n.stats = Stats{}
 }
 
+// MaxPathLatency returns the largest cumulative virtual latency any
+// delivery chain has reached since the last ResetPath. With a latency
+// model installed, ResetPath before a synchronous operation and
+// MaxPathLatency after it yield that operation's virtual completion
+// time — the "how long would this search have taken" number the
+// scenario experiments report percentiles of, measured without any
+// real waiting.
+func (n *MemNetwork) MaxPathLatency() time.Duration {
+	n.statsMu.Lock()
+	defer n.statsMu.Unlock()
+	return n.maxVT
+}
+
+// ResetPath zeroes the path-latency high-water mark.
+func (n *MemNetwork) ResetPath() {
+	n.statsMu.Lock()
+	defer n.statsMu.Unlock()
+	n.maxVT = 0
+}
+
+// TraceHash returns the running hash over every delivery attempt since
+// construction (or the count of hashed events via TraceLen). Zero
+// until WithTrace is set.
+func (n *MemNetwork) TraceHash() uint64 {
+	n.statsMu.Lock()
+	defer n.statsMu.Unlock()
+	return n.trace
+}
+
+// TraceLen returns how many delivery attempts the trace hash covers.
+func (n *MemNetwork) TraceLen() uint64 {
+	n.statsMu.Lock()
+	defer n.statsMu.Unlock()
+	return n.traceLen
+}
+
+// foldTraceLocked mixes one delivery attempt into the trace hash.
+// Caller holds statsMu.
+func (n *MemNetwork) foldTraceLocked(msg Message, dropped bool) {
+	h := fnv.New64a()
+	if n.trace != 0 {
+		var prev [8]byte
+		for i := 0; i < 8; i++ {
+			prev[i] = byte(n.trace >> (8 * i))
+		}
+		h.Write(prev[:])
+	}
+	h.Write([]byte(msg.From))
+	h.Write([]byte{0})
+	h.Write([]byte(msg.To))
+	h.Write([]byte{0})
+	h.Write([]byte(msg.Type))
+	if dropped {
+		h.Write([]byte{0, 'x'})
+	} else {
+		h.Write([]byte{0})
+	}
+	h.Write(msg.Payload)
+	n.trace = h.Sum64()
+	n.traceLen++
+}
+
 // Peers returns the IDs of currently attached peers.
 func (n *MemNetwork) Peers() []PeerID {
 	n.mu.RLock()
@@ -128,18 +218,31 @@ func pairKey(a, b PeerID) [2]PeerID {
 	return [2]PeerID{a, b}
 }
 
-func (n *MemNetwork) deliver(msg Message) error {
+// deliver routes one message. senderVT is the cumulative virtual
+// latency of the delivery chain that produced this send (zero for
+// top-level sends): the message lands at senderVT plus its own link
+// latency, and the receiving endpoint carries that arrival time while
+// its handler runs so everything the handler sends in turn inherits
+// it. That threads exact per-chain virtual time through a synchronous
+// cascade with no real clocks involved.
+func (n *MemNetwork) deliver(msg Message, senderVT time.Duration) error {
 	n.mu.RLock()
 	dst, ok := n.endpoints[msg.To]
 	partitioned := n.parts[pairKey(msg.From, msg.To)]
 	latFn := n.latency
 	drop := n.dropRate
+	dropFn := n.dropModel
 	n.mu.RUnlock()
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownPeer, msg.To)
 	}
 	if partitioned {
 		return fmt.Errorf("%w: %s <-> %s", ErrPartitioned, msg.From, msg.To)
+	}
+	if dropFn != nil {
+		if p := dropFn(msg.From, msg.To); p > 0 {
+			drop = p
+		}
 	}
 	if drop > 0 {
 		n.rngMu.Lock()
@@ -148,6 +251,9 @@ func (n *MemNetwork) deliver(msg Message) error {
 		if lost {
 			n.statsMu.Lock()
 			n.stats.Dropped++
+			if n.traceOn {
+				n.foldTraceLocked(msg, true)
+			}
 			n.statsMu.Unlock()
 			return nil // silent loss, like a real datagram network
 		}
@@ -156,6 +262,7 @@ func (n *MemNetwork) deliver(msg Message) error {
 	if latFn != nil {
 		lat = latFn(msg.From, msg.To)
 	}
+	arrival := senderVT + lat
 	n.statsMu.Lock()
 	n.stats.Messages++
 	n.stats.Bytes += int64(len(msg.Payload))
@@ -164,18 +271,31 @@ func (n *MemNetwork) deliver(msg Message) error {
 	}
 	n.stats.PerType[msg.Type]++
 	n.stats.SimulatedLatency += int64(lat)
+	if arrival > n.maxVT {
+		n.maxVT = arrival
+	}
+	if n.traceOn {
+		n.foldTraceLocked(msg, false)
+	}
 	n.statsMu.Unlock()
 
-	dst.mu.RLock()
+	dst.mu.Lock()
 	h := dst.handler
 	closed := dst.closed
-	dst.mu.RUnlock()
+	prevVT := dst.vt
+	if !closed {
+		dst.vt = arrival
+	}
+	dst.mu.Unlock()
 	if closed {
 		return fmt.Errorf("%w: %s", ErrClosed, msg.To)
 	}
 	if h != nil {
 		h(msg)
 	}
+	dst.mu.Lock()
+	dst.vt = prevVT
+	dst.mu.Unlock()
 	return nil
 }
 
@@ -185,6 +305,12 @@ type memEndpoint struct {
 	mu      sync.RWMutex
 	handler Handler
 	closed  bool
+	// vt is the arrival virtual time of the message currently being
+	// handled, inherited by sends the handler makes. Exact under a
+	// single experiment driver (the cascade is one call stack);
+	// concurrent drivers interleave values without data races, and
+	// path accounting simply loses meaning there.
+	vt time.Duration
 }
 
 var _ Endpoint = (*memEndpoint)(nil)
@@ -194,12 +320,13 @@ func (e *memEndpoint) ID() PeerID { return e.id }
 func (e *memEndpoint) Send(msg Message) error {
 	e.mu.RLock()
 	closed := e.closed
+	vt := e.vt
 	e.mu.RUnlock()
 	if closed {
 		return ErrClosed
 	}
 	msg.From = e.id
-	return e.net.deliver(msg)
+	return e.net.deliver(msg, vt)
 }
 
 func (e *memEndpoint) SetHandler(h Handler) {
