@@ -26,19 +26,25 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-# Compile-and-run every benchmark once so they cannot rot.
+# Compile-and-run every benchmark once so they cannot rot, plus a
+# reduced-scale E13 run: the flooding-vs-DHT scaling comparison must
+# keep producing both columns.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+	$(GO) run ./cmd/up2pbench -run E13 -e13-max-peers 100
 
 # Determinism gate: the golden-trace tests must produce identical
 # message-trace hashes on repeated in-process runs (catches map-order
-# leaks, global counters, unseeded randomness).
+# leaks, global counters, unseeded randomness). Covers all four
+# protocols, including the DHT (replication, expiry, refresh).
 determinism:
 	$(GO) test ./internal/sim -run Golden -count=2
 
-# One scenario experiment at reduced scale: proves the discrete-event
-# engine end to end (churn, latency model, recall accounting) in CI.
+# Scenario experiments at reduced scale: prove the discrete-event
+# engine end to end (churn, latency model, recall accounting) in CI,
+# on the flooding protocols (E10) and the DHT overlay (E14).
 sim-smoke:
 	$(GO) run ./cmd/up2pbench -run E10 -scn-peers 150 -scn-queries 50
+	$(GO) run ./cmd/up2pbench -run E14 -scn-peers 120 -scn-queries 40
 
 ci: build fmt vet test race bench-smoke determinism sim-smoke

@@ -1,9 +1,10 @@
 // Command up2pbench runs the experiment suite of EXPERIMENTS.md and
-// prints every table/figure reproduction (F1–F3, E1–E12).
+// prints every table/figure reproduction (F1–F3, E1–E15).
 //
 //	up2pbench                          # run everything
 //	up2pbench -run E3                  # one experiment
 //	up2pbench -run E10 -scn-peers 200  # scenario experiment, reduced scale
+//	up2pbench -run E13 -dht-k 8        # DHT comparison, smaller replication
 //	up2pbench -list                    # list experiments
 package main
 
@@ -25,7 +26,7 @@ func main() {
 
 func run() error {
 	var (
-		only = flag.String("run", "", "run a single experiment by ID (F1..F3, E1..E9)")
+		only = flag.String("run", "", "run a single experiment by ID (F1..F3, E1..E15)")
 		list = flag.Bool("list", false, "list experiments and exit")
 		// E9 (store scalability) workload knobs.
 		storeWorkers = flag.Int("store-workers", bench.StoreBenchConfig.Workers,
@@ -44,7 +45,14 @@ func run() error {
 		scnQueries = flag.Int("scn-queries", bench.ScenarioBenchConfig.Queries,
 			"E10-E12: queries per scenario run")
 		scnSeed = flag.Int64("scn-seed", bench.ScenarioBenchConfig.Seed,
-			"E10-E12: scenario seed (same seed -> identical trace)")
+			"E10-E15: scenario seed (same seed -> identical trace)")
+		// E13–E15 (DHT comparison) knobs.
+		dhtK = flag.Int("dht-k", bench.DHTBenchConfig.K,
+			"E13-E15: DHT bucket capacity / replication factor")
+		dhtAlpha = flag.Int("dht-alpha", bench.DHTBenchConfig.Alpha,
+			"E13-E15: DHT lookup parallelism")
+		e13Peers = flag.Int("e13-max-peers", bench.DHTBenchConfig.E13MaxPeers,
+			"E13: cap on the population ladder")
 	)
 	flag.Parse()
 	bench.StoreBenchConfig.Workers = *storeWorkers
@@ -55,6 +63,9 @@ func run() error {
 	bench.ScenarioBenchConfig.Peers = *scnPeers
 	bench.ScenarioBenchConfig.Queries = *scnQueries
 	bench.ScenarioBenchConfig.Seed = *scnSeed
+	bench.DHTBenchConfig.K = *dhtK
+	bench.DHTBenchConfig.Alpha = *dhtAlpha
+	bench.DHTBenchConfig.E13MaxPeers = *e13Peers
 
 	if *list {
 		for _, r := range bench.All() {

@@ -1,6 +1,6 @@
 // Command up2pd runs a U-P2P servent: a web interface (§IV.B) over a
-// P2P node speaking either the centralized (Napster-style) or the
-// Gnutella protocol, over real TCP.
+// P2P node speaking the centralized (Napster-style), Gnutella,
+// FastTrack super-peer, or Kademlia DHT protocol, over real TCP.
 //
 // Topology bootstrapping:
 //
@@ -12,6 +12,9 @@
 //
 //	# or a Gnutella servent with bootstrap neighbors
 //	up2pd -mode gnutella -p2p 127.0.0.1:7002 -neighbors 127.0.0.1:7003,127.0.0.1:7004 -http 127.0.0.1:8081
+//
+//	# or a Kademlia DHT servent joining via bootstrap contacts
+//	up2pd -mode dht -p2p 127.0.0.1:7002 -neighbors 127.0.0.1:7003 -http 127.0.0.1:8081
 //
 // Optionally pre-seed a demo community: -seed designpatterns|mp3|cml|species.
 package main
@@ -26,9 +29,11 @@ import (
 	"os/signal"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/dht"
 	"repro/internal/index"
 	"repro/internal/p2p"
 	"repro/internal/query"
@@ -45,7 +50,7 @@ func main() {
 
 func run() error {
 	var (
-		mode      = flag.String("mode", "centralized", "indexserver | superpeer | centralized | gnutella | fasttrack")
+		mode      = flag.String("mode", "centralized", "indexserver | superpeer | centralized | gnutella | fasttrack | dht")
 		p2pAddr   = flag.String("p2p", "127.0.0.1:7001", "TCP address for the P2P layer")
 		httpAddr  = flag.String("http", "127.0.0.1:8080", "HTTP address for the web interface")
 		server    = flag.String("server", "", "index server / super-peer address (centralized, fasttrack modes)")
@@ -105,6 +110,33 @@ func run() error {
 			log.Printf("discovered %d additional peers via ping/pong", len(found))
 		}
 		network = g
+	case "dht":
+		d := dht.NewNode(node, store, dht.Config{})
+		var boot []transport.PeerID
+		for _, n := range strings.Split(*neighbors, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				boot = append(boot, transport.PeerID(n))
+			}
+		}
+		// The Kademlia join (self-lookup off the bootstrap contacts)
+		// populates the routing table before the servent starts.
+		d.Bootstrap(boot...)
+		log.Printf("dht joined via %d bootstrap contacts; %d routing contacts", len(boot), d.TableLen())
+		// Periodic maintenance: without it every record this daemon
+		// publishes would expire at RecordTTL and dead contacts would
+		// linger. The simulator paces this on the virtual clock
+		// (DHTRefreshEvery); a real daemon paces it on the wall clock,
+		// refreshing at half the TTL so records never lapse.
+		go func() {
+			tick := time.NewTicker(dht.DefaultRecordTTL / 2)
+			defer tick.Stop()
+			for range tick.C {
+				if err := d.Refresh(); err != nil {
+					return // node closed
+				}
+			}
+		}()
+		network = d
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
 	}

@@ -14,6 +14,7 @@ import (
 func TestMain(m *testing.M) {
 	ScenarioBenchConfig.Peers = 120
 	ScenarioBenchConfig.Queries = 45
+	DHTBenchConfig.E13MaxPeers = 100
 	if raceEnabled {
 		// The race job pays ~10x per message; the shapes under test
 		// survive at 60 peers.
@@ -286,6 +287,104 @@ func TestE12Shape(t *testing.T) {
 	}
 	if after <= outage {
 		t.Errorf("no recovery after rehome: %v%% <= %v%%", after, outage)
+	}
+}
+
+// TestE13Shape is the DHT acceptance gate: on the identical seeded
+// workload, flooding's per-query message cost keeps growing with
+// population while the DHT's stays near-flat (logarithmic), without
+// losing results.
+func TestE13Shape(t *testing.T) {
+	tbl, err := RunE13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := map[string][]float64{} // protocol -> msgs/query per rung
+	results := map[string][]float64{}
+	for _, row := range tbl.Rows {
+		msgs, _ := strconv.ParseFloat(row[2], 64)
+		res, _ := strconv.ParseFloat(row[5], 64)
+		cost[row[0]] = append(cost[row[0]], msgs)
+		results[row[0]] = append(results[row[0]], res)
+	}
+	g, d := cost["gnutella"], cost["dht"]
+	if len(g) < 3 || len(d) < 3 {
+		t.Fatalf("ladder too short: %v / %v", g, d)
+	}
+	gGrowth := g[len(g)-1] / g[0]
+	dGrowth := d[len(d)-1] / d[0]
+	if dGrowth > 1.8 {
+		t.Errorf("DHT cost not ~O(log n): grew %.2fx across the ladder (%v)", dGrowth, d)
+	}
+	if gGrowth < 1.5 {
+		t.Errorf("flooding cost did not grow with N: %.2fx (%v)", gGrowth, g)
+	}
+	// Compare growth above flat: flooding's excess must dwarf the
+	// DHT's (e.g. 2.0x vs 1.02x at the CI ladder).
+	if gGrowth-1 < 4*(dGrowth-1) {
+		t.Errorf("no clear separation: flooding %.2fx vs DHT %.2fx", gGrowth, dGrowth)
+	}
+	if g[len(g)-1] < 5*d[len(d)-1] {
+		t.Errorf("at the largest rung flooding (%.1f) is not >> DHT (%.1f)", g[len(g)-1], d[len(d)-1])
+	}
+	dRes := results["dht"]
+	if dRes[len(dRes)-1] < dRes[0] {
+		t.Errorf("DHT results eroded with scale: %v", dRes)
+	}
+}
+
+// TestE14Shape: under churn the DHT must hold recall (refresh repairs
+// replicas) at a per-query cost far below flooding's.
+func TestE14Shape(t *testing.T) {
+	tbl, err := RunE14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxCost := map[string]float64{}
+	for _, row := range tbl.Rows {
+		msgs, _ := strconv.ParseFloat(row[5], 64)
+		if msgs > maxCost[row[0]] {
+			maxCost[row[0]] = msgs
+		}
+		if row[0] == "dht" {
+			if r := pct(t, row[6]); r < 95 {
+				t.Errorf("dht churn %s: recall %v%%, want >= 95%%", row[1], r)
+			}
+			if row[1] != "0%" && row[4] == "0" {
+				t.Errorf("dht churn %s: no refresh rounds ran", row[1])
+			}
+		}
+	}
+	if maxCost["dht"]*3 > maxCost["gnutella"] {
+		t.Errorf("dht cost (%.1f) not well below flooding (%.1f)", maxCost["dht"], maxCost["gnutella"])
+	}
+}
+
+// TestE15Shape: no hard query failures on either protocol, and the
+// DHT's replicated records must weather loss at least as well as
+// flooding's path redundancy.
+func TestE15Shape(t *testing.T) {
+	tbl, err := RunE15()
+	if err != nil {
+		t.Fatal(err)
+	}
+	recall := map[string]map[string]float64{} // protocol -> loss -> recall
+	for _, row := range tbl.Rows {
+		if row[3] != "0" {
+			t.Errorf("%s hard-failed %s queries under %s loss", row[0], row[3], row[1])
+		}
+		if recall[row[0]] == nil {
+			recall[row[0]] = map[string]float64{}
+		}
+		recall[row[0]][row[1]] = pct(t, row[5])
+	}
+	for _, loss := range []string{"0%", "1%", "5%", "15%"} {
+		if recall["dht"][loss] < recall["gnutella"][loss] {
+			t.Errorf("at %s loss dht recall %v%% below gnutella %v%%", loss, recall["dht"][loss], recall["gnutella"][loss])
+		}
+	}
+	if recall["dht"]["15%"] < 90 {
+		t.Errorf("dht recall at 15%% loss = %v%%, replication not doing its job", recall["dht"]["15%"])
 	}
 }
 

@@ -1,9 +1,9 @@
 // Package bench implements the experiment harness behind
 // EXPERIMENTS.md: one runner per figure (F1–F3) and per quantified
-// claim (E1–E12), each reproducing the corresponding artifact of the
+// claim (E1–E15), each reproducing the corresponding artifact of the
 // paper — or extending its evaluation, as the discrete-event scenario
-// experiments E10–E12 do — as a printed table. All runs are seeded and
-// deterministic.
+// experiments E10–E12 and the structured-overlay comparison E13–E15
+// do — as a printed table. All runs are seeded and deterministic.
 package bench
 
 import (
@@ -13,7 +13,7 @@ import (
 
 // Table is one experiment's output: paper-style rows.
 type Table struct {
-	// ID is the experiment identifier (F1..F3, E1..E12).
+	// ID is the experiment identifier (F1..F3, E1..E15).
 	ID string
 	// Title describes the experiment.
 	Title string
@@ -94,6 +94,9 @@ func All() []Runner {
 		{"E10", "churn sweep on the virtual clock", RunE10},
 		{"E11", "message-loss sweep", RunE11},
 		{"E12", "super-peer failover and leaf re-registration", RunE12},
+		{"E13", "search cost scaling: flooding vs Kademlia DHT", RunE13},
+		{"E14", "churn sweep: flooding vs DHT with refresh repair", RunE14},
+		{"E15", "loss sweep: flooding vs DHT", RunE15},
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/dht"
 	"repro/internal/index"
 	"repro/internal/p2p"
 	"repro/internal/query"
@@ -191,5 +192,78 @@ func TestGnutellaOverTCP(t *testing.T) {
 	})
 	if len(hits) != 1 {
 		t.Fatalf("search hits = %+v", hits)
+	}
+}
+
+// TestDHTOverTCP runs discovery, join, publish, search, and retrieval
+// through the Kademlia overlay on real TCP sockets: iterative lookups
+// genuinely await their RPCs here instead of riding the synchronous
+// simulator's fast path.
+func TestDHTOverTCP(t *testing.T) {
+	var (
+		svs   []*core.Servent
+		nodes []*dht.Node
+	)
+	for i := 0; i < 4; i++ {
+		tn, err := transport.ListenTCP("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := index.NewStore()
+		node := dht.NewNode(tn, st, dht.Config{K: 4, Alpha: 2})
+		sv, err := core.NewServent(node, st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		svs = append(svs, sv)
+		nodes = append(nodes, node)
+		defer sv.Close()
+	}
+	// Everyone joins off node 0; over TCP the join lookups need the
+	// listeners up, which they already are.
+	for i := 1; i < len(nodes); i++ {
+		nodes[i].Bootstrap(nodes[0].PeerID())
+	}
+
+	comm, err := svs[1].CreateCommunity(core.CommunitySpec{
+		Name:      "patterns",
+		SchemaSrc: corpus.PatternSchemaSrc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := corpus.DesignPatterns(1, 1).Objects[0].Doc
+	if _, err := svs[1].Publish(comm.ID, obj, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	opts := p2p.SearchOptions{Timeout: 2 * time.Second}
+	var found []p2p.Result
+	pollUntil(t, 10*time.Second, func() bool {
+		found, err = svs[3].DiscoverCommunities(query.MustParse("(name=patterns)"), opts)
+		if err != nil {
+			t.Fatalf("dht discover over TCP: %v", err)
+		}
+		return len(found) > 0
+	})
+	if len(found) == 0 {
+		t.Fatal("community not discovered through the DHT")
+	}
+	if _, err := svs[3].JoinFromNetwork(found[0]); err != nil {
+		t.Fatalf("join over TCP dht: %v", err)
+	}
+	var hits []p2p.Result
+	pollUntil(t, 10*time.Second, func() bool {
+		hits, err = svs[3].Search(comm.ID, query.MatchAll{}, opts)
+		if err != nil {
+			t.Fatalf("dht search over TCP: %v", err)
+		}
+		return len(hits) > 0
+	})
+	if len(hits) != 1 {
+		t.Fatalf("search hits = %+v", hits)
+	}
+	if _, err := svs[3].Retrieve(hits[0].DocID, hits[0].Provider); err != nil {
+		t.Fatalf("retrieve over TCP dht: %v", err)
 	}
 }

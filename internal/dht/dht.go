@@ -1,0 +1,167 @@
+// Package dht implements a Kademlia-style structured overlay as a
+// fourth p2p.Network protocol, alongside the paper's centralized,
+// Gnutella, and FastTrack architectures. Where those either flood
+// queries or depend on index servers, the DHT routes every operation
+// through a 160-bit XOR keyspace: node IDs and content keys share one
+// space, each node keeps k-bucket routing state of O(k log n)
+// contacts, and iterative lookups with parallelism α converge on the
+// k nodes closest to any key in O(log n) hops.
+//
+// Mapping U-P2P's community model onto the keyspace:
+//
+//   - KeyForCommunity(communityID) is the community's slice of the
+//     distributed index. Publishing a document STOREs its metadata
+//     record (the same fields the centralized register frame carries)
+//     on the k nodes closest to that key; searching a community is
+//     one iterative FIND_VALUE toward it, with the attribute filter
+//     evaluated holder-side so only matching records travel back.
+//   - KeyForDoc(docID) holds provider records for direct
+//     DocID-keyed provider lookups (Node.Providers).
+//
+// Records expire after Config.RecordTTL on their holders; publishers
+// counter expiry — and re-replicate around churn — by periodic
+// republish (Node.Refresh, p2p.ReannounceLocal over the STORE path),
+// driven by the caller's schedule on a dsim.Clock rather than
+// internal wall-clock timers, exactly like FastTrack's rehoming.
+// Retrieval reuses the shared direct fetch protocol of package p2p.
+//
+// Everything iterates in sorted orders (bucket scans, shortlists,
+// record sets), uses per-node request IDs, and probes liveness only
+// on schedule, so a simulated deployment reproduces its message trace
+// bit-for-bit from the seed like the other three protocols.
+package dht
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/index"
+	"repro/internal/query"
+	"repro/internal/transport"
+)
+
+// Tunables (zero values in Config select these).
+const (
+	// DefaultK is the bucket capacity and replication factor.
+	DefaultK = 16
+	// DefaultAlpha is the lookup parallelism.
+	DefaultAlpha = 3
+	// DefaultRecordTTL is how long a holder keeps a stored record
+	// without a refresh.
+	DefaultRecordTTL = 10 * time.Minute
+	// DefaultRPCTimeout bounds one lookup RPC on asynchronous
+	// transports (the synchronous simulator resolves instantly).
+	DefaultRPCTimeout = time.Second
+)
+
+// Config tunes a Node. The zero value selects the defaults above.
+type Config struct {
+	// K is the bucket capacity and the replication factor: records
+	// are stored on the K nodes closest to their key.
+	K int
+	// Alpha is the number of parallel RPCs per lookup round.
+	Alpha int
+	// RecordTTL is the holder-side record lifetime; publishers must
+	// refresh within it or their records expire.
+	RecordTTL time.Duration
+	// RPCTimeout bounds one lookup RPC on asynchronous transports.
+	RPCTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.K <= 0 {
+		c.K = DefaultK
+	}
+	if c.Alpha <= 0 {
+		c.Alpha = DefaultAlpha
+	}
+	if c.RecordTTL <= 0 {
+		c.RecordTTL = DefaultRecordTTL
+	}
+	if c.RPCTimeout <= 0 {
+		c.RPCTimeout = DefaultRPCTimeout
+	}
+	return c
+}
+
+// Message types on the wire. They ride the same transport.Message
+// frames (and trace hashing, and Stats.PerType accounting) as the
+// other protocols' messages.
+const (
+	MsgPing           = "dht-ping"
+	MsgPong           = "dht-pong"
+	MsgFindNode       = "dht-find-node"
+	MsgFindNodeReply  = "dht-find-node-reply"
+	MsgFindValue      = "dht-find-value"
+	MsgFindValueReply = "dht-find-value-reply"
+	// MsgStore replicates records to a key's closest nodes; it is
+	// fire-and-forget like Kademlia's STORE (expiry plus republish
+	// repair lost copies, so an ack would buy nothing).
+	MsgStore = "dht-store"
+	// MsgUnstore withdraws one provider's record under a key.
+	MsgUnstore = "dht-unstore"
+)
+
+// Record is one replicated metadata entry: the registered fields of a
+// document (exactly what the centralized register frame carries) plus
+// its provider. Replicas are content-addressed by (DocID, Provider).
+type Record struct {
+	DocID       index.DocID      `json:"docId"`
+	CommunityID string           `json:"communityId"`
+	Title       string           `json:"title"`
+	Attrs       query.Attrs      `json:"attrs"`
+	Provider    transport.PeerID `json:"provider"`
+}
+
+// --- wire payloads ---
+
+type pingPayload struct {
+	ReqID uint64 `json:"reqId"`
+}
+
+type findNodePayload struct {
+	ReqID  uint64 `json:"reqId"`
+	Target ID     `json:"target"`
+}
+
+type findNodeReplyPayload struct {
+	ReqID uint64             `json:"reqId"`
+	Peers []transport.PeerID `json:"peers"`
+}
+
+type findValuePayload struct {
+	ReqID uint64 `json:"reqId"`
+	Key   ID     `json:"key"`
+	// CommunityID/Filter/Limit let the holder evaluate the query
+	// server-side, so only matching records travel back.
+	CommunityID string `json:"communityId"`
+	Filter      string `json:"filter"`
+	Limit       int    `json:"limit"`
+}
+
+type findValueReplyPayload struct {
+	ReqID   uint64             `json:"reqId"`
+	Records []Record           `json:"records,omitempty"`
+	Peers   []transport.PeerID `json:"peers"`
+}
+
+type storePayload struct {
+	Key     ID       `json:"key"`
+	Records []Record `json:"records"`
+}
+
+type unstorePayload struct {
+	Key      ID               `json:"key"`
+	DocID    index.DocID      `json:"docId"`
+	Provider transport.PeerID `json:"provider"`
+}
+
+func marshal(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// Payloads are plain data; failure is a programming error.
+		panic(fmt.Sprintf("dht: marshal: %v", err))
+	}
+	return b
+}

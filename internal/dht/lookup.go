@@ -1,0 +1,176 @@
+package dht
+
+import (
+	"encoding/json"
+
+	"repro/internal/p2p"
+	"repro/internal/transport"
+)
+
+// valueQuery makes a lookup carry FIND_VALUE semantics: holders of
+// the target key evaluate the community/filter server-side and return
+// matching records alongside their closest contacts.
+type valueQuery struct {
+	communityID string
+	filter      string
+	limit       int
+}
+
+// lookupOutcome is the result of one iterative lookup.
+type lookupOutcome struct {
+	// contacts are the responsive nodes closest to the target, by
+	// distance, at most K.
+	contacts []Contact
+	// records are the FIND_VALUE results, deduped by (DocID,
+	// Provider) and sorted.
+	records []Record
+	// rounds is how many α-wide RPC waves the lookup took: its hop
+	// count.
+	rounds int
+}
+
+// peerState tracks one shortlist entry through a lookup.
+type peerState int
+
+const (
+	stateNew peerState = iota
+	stateResponded
+	stateFailed
+)
+
+// lookup runs the iterative Kademlia node/value lookup toward target.
+// Each round queries the α closest unqueried candidates among the K
+// best known, merges the contacts (and records) they return, and
+// stops when the K closest known nodes have all been queried — the
+// standard convergence rule, reaching the key's neighborhood in
+// O(log n) rounds.
+//
+// On the synchronous simulated network every reply has already been
+// handled when Send returns, so a "parallel" wave degenerates to α
+// deterministic sequential RPCs; on TCP the α RPCs genuinely overlap
+// and Await applies the RPC timeout. Candidates are always processed
+// in sorted distance order, never map order, so two runs of one seed
+// issue identical message sequences.
+func (n *Node) lookup(target ID, vq *valueQuery) lookupOutcome {
+	var out lookupOutcome
+	short := n.table.Closest(target, 0)
+	state := make(map[transport.PeerID]peerState, len(short))
+	known := make(map[transport.PeerID]bool, len(short))
+	for _, c := range short {
+		known[c.Peer] = true
+	}
+	recs := make(map[recordKey]Record)
+
+	type rpc struct {
+		contact Contact
+		reqID   uint64
+		ch      chan json.RawMessage
+	}
+	for {
+		// Pick up to α unqueried candidates among the K closest
+		// still-viable entries.
+		var wave []rpc
+		viable := 0
+		for _, c := range short {
+			if state[c.Peer] == stateFailed {
+				continue
+			}
+			viable++
+			if viable > n.cfg.K {
+				break
+			}
+			if state[c.Peer] != stateNew {
+				continue
+			}
+			reqID, ch := n.pending.Create()
+			if err := n.sendLookupRPC(c.Peer, reqID, target, vq); err != nil {
+				n.pending.Drop(reqID)
+				state[c.Peer] = stateFailed
+				if transport.IsPeerDead(err) {
+					n.table.Remove(c.Peer)
+				}
+				continue
+			}
+			state[c.Peer] = stateResponded // provisional; demoted on timeout
+			wave = append(wave, rpc{contact: c, reqID: reqID, ch: ch})
+			if len(wave) == n.cfg.Alpha {
+				break
+			}
+		}
+		if len(wave) == 0 {
+			break
+		}
+		out.rounds++
+		grew := false
+		for _, r := range wave {
+			raw, err := p2p.Await(n.clk, n.ep.Synchronous(), r.ch, n.cfg.RPCTimeout)
+			if err != nil {
+				n.pending.Drop(r.reqID)
+				state[r.contact.Peer] = stateFailed
+				continue
+			}
+			var reply findValueReplyPayload // superset of the find-node reply
+			if err := json.Unmarshal(raw, &reply); err != nil {
+				state[r.contact.Peer] = stateFailed
+				continue
+			}
+			for _, rec := range reply.Records {
+				recs[recordKey{rec.DocID, rec.Provider}] = rec
+			}
+			for _, peer := range reply.Peers {
+				if peer == n.ep.ID() || known[peer] {
+					continue
+				}
+				known[peer] = true
+				short = append(short, ContactFor(peer))
+				grew = true
+			}
+		}
+		if grew {
+			sortByDistance(short, target)
+		}
+	}
+
+	for _, c := range short {
+		if state[c.Peer] == stateResponded {
+			out.contacts = append(out.contacts, c)
+			if len(out.contacts) == n.cfg.K {
+				break
+			}
+		}
+	}
+	if len(recs) > 0 {
+		out.records = make([]Record, 0, len(recs))
+		for _, rec := range recs {
+			out.records = append(out.records, rec)
+		}
+		sortRecords(out.records)
+	}
+	n.counters.lookups.Add(1)
+	n.counters.rounds.Add(int64(out.rounds))
+	return out
+}
+
+// sendLookupRPC issues the wave's RPC: FIND_VALUE when a value query
+// rides along, FIND_NODE otherwise.
+func (n *Node) sendLookupRPC(to transport.PeerID, reqID uint64, target ID, vq *valueQuery) error {
+	n.counters.contacted.Add(1)
+	if vq != nil {
+		return n.ep.Send(transport.Message{
+			To:   to,
+			Type: MsgFindValue,
+			Payload: marshal(findValuePayload{
+				ReqID:       reqID,
+				Key:         target,
+				CommunityID: vq.communityID,
+				Filter:      vq.filter,
+				Limit:       vq.limit,
+			}),
+		})
+	}
+	return n.ep.Send(transport.Message{
+		To:      to,
+		Type:    MsgFindNode,
+		Payload: marshal(findNodePayload{ReqID: reqID, Target: target}),
+	})
+}

@@ -1,0 +1,491 @@
+package dht
+
+import (
+	"encoding/json"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dsim"
+	"repro/internal/index"
+	"repro/internal/p2p"
+	"repro/internal/query"
+	"repro/internal/transport"
+)
+
+// storeChunk bounds records per STORE frame, like the register-batch
+// chunking, so one bulk publication cannot exceed a transport's frame
+// limit.
+const storeChunk = 512
+
+// Node is one DHT peer: a p2p.Network whose Publish/Search/Unpublish
+// route through the keyspace instead of a server or a flood. The
+// local index.Store holds the node's own shared objects (as on every
+// protocol); the record store holds the slices of the distributed
+// index this node is a closest-k holder of.
+type Node struct {
+	ep      transport.Endpoint
+	store   *index.Store
+	cfg     Config
+	self    ID
+	table   *Table
+	records *recordStore
+	pending *p2p.PendingTable
+	clk     dsim.Clock
+
+	mu     sync.RWMutex
+	attach p2p.AttachmentProvider
+	closed bool
+
+	counters struct {
+		lookups   atomic.Int64
+		rounds    atomic.Int64
+		contacted atomic.Int64
+	}
+}
+
+var _ p2p.Network = (*Node)(nil)
+
+// NewNode attaches a DHT node to the network. store holds the peer's
+// shared objects; cfg's zero value selects the package defaults.
+// Topology comes from Bootstrap (the simulator wires it; over TCP a
+// bootstrap list plays the same role).
+func NewNode(ep transport.Endpoint, store *index.Store, cfg Config) *Node {
+	cfg = cfg.withDefaults()
+	self := NodeIDFor(ep.ID())
+	n := &Node{
+		ep:      ep,
+		store:   store,
+		cfg:     cfg,
+		self:    self,
+		table:   NewTable(self, cfg.K),
+		records: newRecordStore(cfg.RecordTTL),
+		pending: p2p.NewPendingTable(),
+		clk:     dsim.Wall,
+	}
+	ep.SetHandler(n.handle)
+	return n
+}
+
+// PeerID implements p2p.Network.
+func (n *Node) PeerID() transport.PeerID { return n.ep.ID() }
+
+// ID returns the node's point in the keyspace.
+func (n *Node) ID() ID { return n.self }
+
+// SetClock installs the clock that paces RPC timeouts and record
+// expiry (default wall). Call before traffic starts.
+func (n *Node) SetClock(clk dsim.Clock) {
+	if clk != nil {
+		n.clk = clk
+	}
+}
+
+// SetAttachmentProvider implements p2p.Network.
+func (n *Node) SetAttachmentProvider(p p2p.AttachmentProvider) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.attach = p
+}
+
+// TableLen returns the number of live routing-table contacts.
+func (n *Node) TableLen() int { return n.table.Len() }
+
+// RecordCount returns how many unexpired records this node holds for
+// the keyspace.
+func (n *Node) RecordCount() int { return n.records.len(n.clk.Now()) }
+
+// LookupCounters returns cumulative lookup telemetry: lookups run,
+// total rounds (hops), and total peers contacted. Tests assert
+// convergence on it; the experiments read hop counts off Result.Hops
+// instead, and the ROADMAP metrics item is the plan for plumbing
+// these into a real registry.
+func (n *Node) LookupCounters() (lookups, rounds, contacted int64) {
+	return n.counters.lookups.Load(), n.counters.rounds.Load(), n.counters.contacted.Load()
+}
+
+// Bootstrap seeds the routing table with the given peers and runs the
+// Kademlia join: an iterative lookup of the node's own ID, which
+// populates the table with the neighborhood and inserts this node
+// into the tables of everyone contacted.
+func (n *Node) Bootstrap(peers ...transport.PeerID) {
+	for _, p := range peers {
+		if p != n.ep.ID() {
+			n.table.Observe(p)
+		}
+	}
+	n.lookup(n.self, nil)
+}
+
+// Publish implements p2p.Network: store locally, then replicate the
+// metadata record onto the k nodes closest to the community key (the
+// distributed index slice) and to the document key (provider
+// lookups).
+func (n *Node) Publish(doc *index.Document) error {
+	if err := n.store.Put(doc); err != nil {
+		return err
+	}
+	return n.announce([]*index.Document{doc})
+}
+
+// PublishBatch implements p2p.Network: one local store batch, then
+// one community-key lookup per distinct community (not per document)
+// with the records chunked over STORE frames.
+func (n *Node) PublishBatch(docs []*index.Document) error {
+	if len(docs) == 0 {
+		return nil
+	}
+	if err := n.store.PutBatch(docs); err != nil {
+		return err
+	}
+	return n.announce(docs)
+}
+
+// announce replicates records for docs into the keyspace. STOREs are
+// fire-and-forget: a lost or refused replica is repaired by the next
+// Refresh, exactly like Kademlia republish.
+func (n *Node) announce(docs []*index.Document) error {
+	if n.isClosed() {
+		return p2p.ErrClosed
+	}
+	byComm := make(map[string][]Record)
+	for _, doc := range docs {
+		byComm[doc.CommunityID] = append(byComm[doc.CommunityID], recordFor(doc, n.ep.ID()))
+	}
+	comms := make([]string, 0, len(byComm))
+	for c := range byComm {
+		comms = append(comms, c)
+	}
+	sort.Strings(comms)
+	for _, c := range comms {
+		n.storeRecords(KeyForCommunity(c), byComm[c])
+	}
+	for _, doc := range docs {
+		n.storeRecords(KeyForDoc(doc.ID), []Record{recordFor(doc, n.ep.ID())})
+	}
+	return nil
+}
+
+// recordFor extracts the replicated metadata of a document.
+func recordFor(doc *index.Document, provider transport.PeerID) Record {
+	return Record{
+		DocID:       doc.ID,
+		CommunityID: doc.CommunityID,
+		Title:       doc.Title,
+		Attrs:       doc.Attrs,
+		Provider:    provider,
+	}
+}
+
+// storeRecords looks up the key's closest nodes and replicates recs
+// onto them. The node keeps a local replica too when it belongs to
+// the key's neighborhood (fewer than k known holders, or self closer
+// than the k-th) — slight over-replication beats a coverage hole.
+func (n *Node) storeRecords(key ID, recs []Record) {
+	out := n.lookup(key, nil)
+	targets := out.contacts
+	if len(targets) < n.cfg.K || CompareDistance(n.self, targets[len(targets)-1].ID, key) < 0 {
+		n.records.put(key, recs, n.clk.Now())
+	}
+	for start := 0; start < len(recs); start += storeChunk {
+		end := start + storeChunk
+		if end > len(recs) {
+			end = len(recs)
+		}
+		payload := marshal(storePayload{Key: key, Records: recs[start:end]})
+		for _, t := range targets {
+			if err := n.ep.Send(transport.Message{To: t.Peer, Type: MsgStore, Payload: payload}); err != nil && transport.IsPeerDead(err) {
+				n.table.Remove(t.Peer)
+			}
+		}
+	}
+}
+
+// Unpublish implements p2p.Network: withdraw the record from both
+// keys' neighborhoods. Replicas on nodes that miss the unstore (loss,
+// stale holders) age out at RecordTTL.
+func (n *Node) Unpublish(id index.DocID) error {
+	if n.isClosed() {
+		return p2p.ErrClosed
+	}
+	doc, err := n.store.Get(id)
+	n.store.Delete(id)
+	if err == nil {
+		n.unstore(KeyForCommunity(doc.CommunityID), id)
+	}
+	n.unstore(KeyForDoc(id), id)
+	return nil
+}
+
+func (n *Node) unstore(key ID, id index.DocID) {
+	out := n.lookup(key, nil)
+	n.records.remove(key, id, n.ep.ID())
+	payload := marshal(unstorePayload{Key: key, DocID: id, Provider: n.ep.ID()})
+	for _, t := range out.contacts {
+		_ = n.ep.Send(transport.Message{To: t.Peer, Type: MsgUnstore, Payload: payload})
+	}
+}
+
+// Search implements p2p.Network: one iterative FIND_VALUE toward the
+// community key. Holders filter server-side, the caller unions the
+// replicas (plus its own held slice and its own store), dedupes by
+// (DocID, Provider), and returns results in canonical order with
+// Hops set to the lookup's round count. Unlike the centralized
+// protocol there is no single point whose loss fails the query:
+// under loss the lookup routes around unresponsive nodes and degrades
+// gracefully instead of erroring.
+func (n *Node) Search(communityID string, f query.Filter, opts p2p.SearchOptions) ([]p2p.Result, error) {
+	if n.isClosed() {
+		return nil, p2p.ErrClosed
+	}
+	if f == nil {
+		f = query.MatchAll{}
+	}
+	key := KeyForCommunity(communityID)
+	out := n.lookup(key, &valueQuery{communityID: communityID, filter: f.String(), limit: opts.Limit})
+	merged := make(map[recordKey]Record, len(out.records))
+	for _, rec := range out.records {
+		// Holders filter server-side; re-check here so a skewed or
+		// malicious holder cannot inject non-matching records.
+		if rec.CommunityID != communityID || !f.Match(rec.Attrs) {
+			continue
+		}
+		merged[recordKey{rec.DocID, rec.Provider}] = rec
+	}
+	for _, rec := range n.records.get(key, n.clk.Now(), communityID, f, 0) {
+		merged[recordKey{rec.DocID, rec.Provider}] = rec
+	}
+	for _, doc := range n.store.Search(communityID, f, 0) {
+		rec := recordFor(doc, n.ep.ID())
+		merged[recordKey{rec.DocID, rec.Provider}] = rec
+	}
+	recs := make([]Record, 0, len(merged))
+	for _, rec := range merged {
+		recs = append(recs, rec)
+	}
+	sortRecords(recs)
+	if opts.Limit > 0 && len(recs) > opts.Limit {
+		recs = recs[:opts.Limit]
+	}
+	results := make([]p2p.Result, len(recs))
+	for i, rec := range recs {
+		results[i] = p2p.Result{
+			DocID:       rec.DocID,
+			Provider:    rec.Provider,
+			CommunityID: rec.CommunityID,
+			Title:       rec.Title,
+			Attrs:       rec.Attrs,
+			Hops:        out.rounds,
+		}
+	}
+	return results, nil
+}
+
+// Providers returns the provider records replicated under a
+// document's key: the DocID-keyed half of the keyspace.
+func (n *Node) Providers(id index.DocID) []Record {
+	out := n.lookup(KeyForDoc(id), &valueQuery{filter: query.MatchAll{}.String()})
+	merged := make(map[recordKey]Record, len(out.records))
+	for _, rec := range out.records {
+		merged[recordKey{rec.DocID, rec.Provider}] = rec
+	}
+	for _, rec := range n.records.get(KeyForDoc(id), n.clk.Now(), "", nil, 0) {
+		merged[recordKey{rec.DocID, rec.Provider}] = rec
+	}
+	recs := make([]Record, 0, len(merged))
+	for _, rec := range merged {
+		if rec.DocID == id {
+			recs = append(recs, rec)
+		}
+	}
+	sortRecords(recs)
+	return recs
+}
+
+// Retrieve implements p2p.Network via the shared direct fetch
+// protocol.
+func (n *Node) Retrieve(id index.DocID, from transport.PeerID) (*index.Document, error) {
+	if from == n.PeerID() {
+		return n.store.Get(id)
+	}
+	return p2p.RetrieveFrom(n.clk, n.ep, n.pending, id, from, 0)
+}
+
+// RetrieveAttachment implements p2p.Network.
+func (n *Node) RetrieveAttachment(uri string, from transport.PeerID) ([]byte, error) {
+	return p2p.RetrieveAttachmentFrom(n.clk, n.ep, n.pending, uri, from, 0)
+}
+
+// CheckLiveness probes the least-recently-seen contact of every
+// bucket and evicts the ones that fail to answer, promoting
+// replacement-cache candidates into the freed slots — the scheduled
+// LRU eviction half of bucket maintenance. A successful probe rotates
+// the contact to the fresh end (its pong is traffic), so repeated
+// rounds sweep whole buckets. Returns how many contacts were evicted.
+func (n *Node) CheckLiveness() int {
+	evicted := 0
+	for _, c := range n.table.Oldest() {
+		if !n.pingPeer(c.Peer) {
+			n.table.Remove(c.Peer)
+			evicted++
+		}
+	}
+	return evicted
+}
+
+// pingPeer probes one contact. Under message loss a live contact can
+// fail the probe and be evicted; it re-enters the table on next
+// contact, as in Kademlia.
+func (n *Node) pingPeer(peer transport.PeerID) bool {
+	reqID, ch := n.pending.Create()
+	err := n.ep.Send(transport.Message{
+		To:      peer,
+		Type:    MsgPing,
+		Payload: marshal(pingPayload{ReqID: reqID}),
+	})
+	if err != nil {
+		n.pending.Drop(reqID)
+		return false
+	}
+	if _, err := p2p.Await(n.clk, n.ep.Synchronous(), ch, n.cfg.RPCTimeout); err != nil {
+		n.pending.Drop(reqID)
+		return false
+	}
+	return true
+}
+
+// Refresh is the DHT's rehome-equivalent, run on the caller's
+// schedule (the scenario driver paces it on the virtual clock):
+// bucket repair (CheckLiveness plus a self-lookup that re-learns the
+// neighborhood) followed by republication of every locally stored
+// document through p2p.ReannounceLocal — restarting record TTLs and
+// re-replicating onto the current closest-k after churn moved them.
+func (n *Node) Refresh() error {
+	if n.isClosed() {
+		return p2p.ErrClosed
+	}
+	n.CheckLiveness()
+	n.lookup(n.self, nil)
+	return p2p.ReannounceLocal(n.store, n.announce)
+}
+
+// Close implements p2p.Network.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	n.mu.Unlock()
+	return n.ep.Close()
+}
+
+func (n *Node) isClosed() bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.closed
+}
+
+func (n *Node) handle(msg transport.Message) {
+	// Every inbound message is evidence its sender is alive: the
+	// Kademlia rule that keeps routing state fresh for free.
+	n.table.Observe(msg.From)
+	switch msg.Type {
+	case MsgPing:
+		var req pingPayload
+		if err := json.Unmarshal(msg.Payload, &req); err != nil {
+			return
+		}
+		_ = n.ep.Send(transport.Message{
+			To:      msg.From,
+			Type:    MsgPong,
+			Payload: marshal(pingPayload{ReqID: req.ReqID}),
+		})
+	case MsgFindNode:
+		var req findNodePayload
+		if err := json.Unmarshal(msg.Payload, &req); err != nil {
+			return
+		}
+		_ = n.ep.Send(transport.Message{
+			To:   msg.From,
+			Type: MsgFindNodeReply,
+			Payload: marshal(findNodeReplyPayload{
+				ReqID: req.ReqID,
+				Peers: contactPeers(n.table.Closest(req.Target, n.cfg.K)),
+			}),
+		})
+	case MsgFindValue:
+		var req findValuePayload
+		if err := json.Unmarshal(msg.Payload, &req); err != nil {
+			return
+		}
+		reply := findValueReplyPayload{
+			ReqID: req.ReqID,
+			Peers: contactPeers(n.table.Closest(req.Key, n.cfg.K)),
+		}
+		// An unparseable filter yields no records, never all of them:
+		// the reply still carries contacts so the lookup can route on,
+		// but failing open to the whole record set would let one
+		// malformed query read the entire key.
+		if f, err := query.Parse(req.Filter); err == nil {
+			reply.Records = n.records.get(req.Key, n.clk.Now(), req.CommunityID, f, req.Limit)
+		}
+		_ = n.ep.Send(transport.Message{
+			To:      msg.From,
+			Type:    MsgFindValueReply,
+			Payload: marshal(reply),
+		})
+	case MsgStore:
+		var req storePayload
+		if err := json.Unmarshal(msg.Payload, &req); err != nil {
+			return
+		}
+		// Provenance: a peer may only store records it provides
+		// itself (every legitimate publish/refresh does exactly
+		// that), so one peer cannot forge records under another's
+		// name. Would need revisiting for path-caching STOREs.
+		kept := req.Records[:0]
+		for _, rec := range req.Records {
+			if rec.Provider == msg.From {
+				kept = append(kept, rec)
+			}
+		}
+		n.records.put(req.Key, kept, n.clk.Now())
+	case MsgUnstore:
+		var req unstorePayload
+		if err := json.Unmarshal(msg.Payload, &req); err != nil {
+			return
+		}
+		// Same provenance rule: only the providing peer can withdraw
+		// its own record.
+		if req.Provider != msg.From {
+			return
+		}
+		n.records.remove(req.Key, req.DocID, req.Provider)
+	case MsgPong, MsgFindNodeReply, MsgFindValueReply, p2p.MsgFetchReply, p2p.MsgAttachmentReply:
+		var probe struct {
+			ReqID uint64 `json:"reqId"`
+		}
+		if err := json.Unmarshal(msg.Payload, &probe); err != nil {
+			return
+		}
+		n.pending.Resolve(probe.ReqID, msg.Payload)
+	case p2p.MsgFetch:
+		p2p.ServeFetch(n.ep, n.store, msg)
+	case p2p.MsgAttachment:
+		n.mu.RLock()
+		p := n.attach
+		n.mu.RUnlock()
+		p2p.ServeAttachment(n.ep, p, msg)
+	}
+}
+
+// contactPeers projects contacts to their peer IDs for the wire.
+func contactPeers(cs []Contact) []transport.PeerID {
+	out := make([]transport.PeerID, len(cs))
+	for i, c := range cs {
+		out[i] = c.Peer
+	}
+	return out
+}

@@ -1,0 +1,283 @@
+package dht
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/dsim"
+	"repro/internal/index"
+	"repro/internal/p2p"
+	"repro/internal/query"
+	"repro/internal/transport"
+)
+
+// testNet builds n bootstrapped DHT nodes on one in-memory network.
+func testNet(t *testing.T, n int, cfg Config) (*transport.MemNetwork, []*Node) {
+	t.Helper()
+	net := transport.NewMemNetwork(transport.WithSeed(1))
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		ep, err := net.Endpoint(transport.PeerID(fmt.Sprintf("peer%03d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = NewNode(ep, index.NewStore(), cfg)
+	}
+	for i := 1; i < n; i++ {
+		nodes[i].Bootstrap(nodes[0].PeerID())
+	}
+	return net, nodes
+}
+
+func doc(i int, community, class string) *index.Document {
+	return &index.Document{
+		ID:          index.DocID(fmt.Sprintf("d-%04d", i)),
+		CommunityID: community,
+		Title:       fmt.Sprintf("doc %d", i),
+		Attrs:       query.Attrs{"classification": {class}},
+	}
+}
+
+// TestPublishSearchAcrossNodes: records published anywhere are found
+// from everywhere via community-key lookups, with server-side filters
+// honored.
+func TestPublishSearchAcrossNodes(t *testing.T) {
+	_, nodes := testNet(t, 24, Config{K: 4, Alpha: 2})
+	for i := 0; i < 12; i++ {
+		class := "behavioral"
+		if i%2 == 0 {
+			class = "creational"
+		}
+		if err := nodes[i].Publish(doc(i, "patterns", class)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, searcher := range []int{0, 7, 23} {
+		rs, err := nodes[searcher].Search("patterns", query.MustParse("(classification=behavioral)"), p2p.SearchOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rs) != 6 {
+			t.Fatalf("searcher %d: %d hits, want 6", searcher, len(rs))
+		}
+		for _, r := range rs {
+			if r.CommunityID != "patterns" || r.Attrs.Get("classification") != "behavioral" {
+				t.Fatalf("bad hit: %+v", r)
+			}
+		}
+	}
+	// Limit caps the merged result set.
+	rs, err := nodes[3].Search("patterns", nil, p2p.SearchOptions{Limit: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 4 {
+		t.Fatalf("limited search: %d hits, want 4", len(rs))
+	}
+}
+
+// TestProvidersAndUnpublish exercises the DocID-keyed half of the
+// keyspace and record withdrawal.
+func TestProvidersAndUnpublish(t *testing.T) {
+	_, nodes := testNet(t, 16, Config{K: 4, Alpha: 2})
+	d := doc(1, "patterns", "structural")
+	if err := nodes[5].Publish(d); err != nil {
+		t.Fatal(err)
+	}
+	provs := nodes[11].Providers(d.ID)
+	if len(provs) != 1 || provs[0].Provider != nodes[5].PeerID() {
+		t.Fatalf("providers = %+v", provs)
+	}
+	// A second provider replicates under the same key.
+	if err := nodes[8].Publish(doc(1, "patterns", "structural")); err != nil {
+		t.Fatal(err)
+	}
+	if provs = nodes[2].Providers(d.ID); len(provs) != 2 {
+		t.Fatalf("providers after replica = %+v", provs)
+	}
+	if err := nodes[5].Unpublish(d.ID); err != nil {
+		t.Fatal(err)
+	}
+	provs = nodes[2].Providers(d.ID)
+	if len(provs) != 1 || provs[0].Provider != nodes[8].PeerID() {
+		t.Fatalf("providers after unpublish = %+v", provs)
+	}
+	rs, err := nodes[0].Search("patterns", nil, p2p.SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs {
+		if r.Provider == nodes[5].PeerID() {
+			t.Fatalf("unpublished provider still searchable: %+v", r)
+		}
+	}
+}
+
+// TestRecordExpiryAndRefresh: on a virtual clock, records age out at
+// RecordTTL unless the publisher's Refresh re-replicates them.
+func TestRecordExpiryAndRefresh(t *testing.T) {
+	clk := dsim.NewVirtualClock()
+	net := transport.NewMemNetwork(transport.WithSeed(1))
+	cfg := Config{K: 3, Alpha: 2, RecordTTL: 10 * time.Second}
+	var nodes []*Node
+	for i := 0; i < 10; i++ {
+		ep, err := net.Endpoint(transport.PeerID(fmt.Sprintf("peer%03d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nd := NewNode(ep, index.NewStore(), cfg)
+		nd.SetClock(clk)
+		nodes = append(nodes, nd)
+	}
+	for i := 1; i < len(nodes); i++ {
+		nodes[i].Bootstrap(nodes[0].PeerID())
+	}
+	if err := nodes[4].Publish(doc(9, "patterns", "behavioral")); err != nil {
+		t.Fatal(err)
+	}
+	search := func(from int) int {
+		rs, err := nodes[from].Search("patterns", nil, p2p.SearchOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(rs)
+	}
+	if got := search(7); got != 1 {
+		t.Fatalf("pre-expiry hits = %d", got)
+	}
+	// Advance past the TTL without a refresh: the record is gone for
+	// everyone but its publisher (who still holds the object).
+	clk.Sleep(11 * time.Second)
+	if got := search(7); got != 0 {
+		t.Fatalf("post-expiry hits = %d, want 0", got)
+	}
+	if got := search(4); got != 1 {
+		t.Fatalf("publisher lost its own object: hits = %d", got)
+	}
+	// Refresh republishes and restores remote discoverability.
+	if err := nodes[4].Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if got := search(7); got != 1 {
+		t.Fatalf("post-refresh hits = %d, want 1", got)
+	}
+}
+
+// TestDeadContactRepair: killed peers are evicted on definitive send
+// errors and scheduled liveness checks; lookups keep working.
+func TestDeadContactRepair(t *testing.T) {
+	_, nodes := testNet(t, 12, Config{K: 3, Alpha: 2})
+	for i := 0; i < 6; i++ {
+		if err := nodes[i].Publish(doc(i, "patterns", "behavioral")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Kill a third of the network, including a publisher.
+	for _, victim := range []int{1, 6, 9} {
+		if err := nodes[victim].Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One liveness round probes (and on success rotates) one contact
+	// per bucket, so k rounds sweep a full bucket.
+	for round := 0; round < 3; round++ {
+		for _, alive := range []int{0, 2, 3, 4, 5, 7, 8, 10, 11} {
+			nodes[alive].CheckLiveness()
+		}
+	}
+	for _, alive := range []int{0, 2, 3, 4, 5, 7, 8, 10, 11} {
+		for _, c := range nodes[alive].table.Closest(nodes[alive].self, 0) {
+			if c.Peer == nodes[1].PeerID() || c.Peer == nodes[6].PeerID() || c.Peer == nodes[9].PeerID() {
+				t.Fatalf("node %d still routes to dead contact %s", alive, c.Peer)
+			}
+		}
+	}
+	rs, err := nodes[11].Search("patterns", query.MustParse("(classification=behavioral)"), p2p.SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) < 5 {
+		t.Fatalf("post-churn hits = %d, want >= 5 (one publisher died)", len(rs))
+	}
+}
+
+// TestLookupConvergence: at 64 nodes with k=8 the hop count stays
+// logarithmic (well under the flooding diameter) and repeated
+// lookups are deterministic.
+func TestLookupConvergence(t *testing.T) {
+	_, nodes := testNet(t, 64, Config{K: 8, Alpha: 3})
+	target := KeyForCommunity("patterns")
+	look0, rounds0, contacted0 := nodes[17].LookupCounters()
+	out1 := nodes[17].lookup(target, nil)
+	out2 := nodes[17].lookup(target, nil)
+	if out1.rounds == 0 || out1.rounds > 6 {
+		t.Fatalf("rounds = %d, want 1..6", out1.rounds)
+	}
+	look1, rounds1, contacted1 := nodes[17].LookupCounters()
+	if look1 != look0+2 || rounds1-rounds0 != int64(out1.rounds+out2.rounds) || contacted1 <= contacted0 {
+		t.Fatalf("lookup counters inconsistent: lookups %d->%d rounds %d->%d contacted %d->%d",
+			look0, look1, rounds0, rounds1, contacted0, contacted1)
+	}
+	if len(out1.contacts) != 8 {
+		t.Fatalf("contacts = %d, want k=8", len(out1.contacts))
+	}
+	for i := range out1.contacts {
+		if out1.contacts[i].Peer != out2.contacts[i].Peer {
+			t.Fatalf("lookup not deterministic at %d", i)
+		}
+	}
+	// The lookup's k closest must equal the brute-force k closest
+	// over the whole population (everyone is reachable and alive).
+	all := make([]Contact, 0, len(nodes))
+	for _, nd := range nodes {
+		if nd.PeerID() != nodes[17].PeerID() {
+			all = append(all, ContactFor(nd.PeerID()))
+		}
+	}
+	sortByDistance(all, target)
+	for i := 0; i < 8; i++ {
+		if out1.contacts[i].Peer != all[i].Peer {
+			t.Fatalf("lookup closest[%d] = %s, oracle %s", i, out1.contacts[i].Peer, all[i].Peer)
+		}
+	}
+}
+
+// TestStoreProvenance: a peer can neither forge records under another
+// provider's name nor withdraw another provider's records — STORE and
+// unstore frames only act when Provider matches the sender.
+func TestStoreProvenance(t *testing.T) {
+	net := transport.NewMemNetwork(transport.WithSeed(1))
+	cfg := Config{K: 4, Alpha: 2}
+	mk := func(id string) *Node {
+		ep, err := net.Endpoint(transport.PeerID(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return NewNode(ep, index.NewStore(), cfg)
+	}
+	holder, victim, attacker := mk("holder"), mk("victim"), mk("attacker")
+	victim.Bootstrap(holder.PeerID())
+	attacker.Bootstrap(holder.PeerID())
+	if err := victim.Publish(doc(1, "patterns", "behavioral")); err != nil {
+		t.Fatal(err)
+	}
+	key := KeyForCommunity("patterns")
+	// Forged STORE: attacker claims the victim provides a document.
+	forged := Record{DocID: "d-evil", CommunityID: "patterns", Provider: victim.PeerID(), Attrs: query.Attrs{"classification": {"behavioral"}}}
+	atkEP, err := net.Endpoint("attacker-raw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = atkEP.Send(transport.Message{To: holder.PeerID(), Type: MsgStore, Payload: marshal(storePayload{Key: key, Records: []Record{forged}})})
+	// Forged unstore: attacker withdraws the victim's real record.
+	real := doc(1, "patterns", "behavioral")
+	_ = atkEP.Send(transport.Message{To: holder.PeerID(), Type: MsgUnstore, Payload: marshal(unstorePayload{Key: key, DocID: real.ID, Provider: victim.PeerID()})})
+	rs, err := attacker.Search("patterns", query.MustParse("(classification=behavioral)"), p2p.SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || rs[0].DocID != real.ID || rs[0].Provider != victim.PeerID() {
+		t.Fatalf("results = %+v, want only the victim's real record intact", rs)
+	}
+}

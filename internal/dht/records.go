@@ -1,0 +1,134 @@
+package dht
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/index"
+	"repro/internal/query"
+	"repro/internal/transport"
+)
+
+// recordStore holds the records this node keeps for keys it is among
+// the closest to. Entries carry an expiry instant (measured on the
+// owner's clock): a record whose publisher stops refreshing it ages
+// out, which is what garbage-collects departed providers without any
+// global coordination. Expired entries are pruned lazily on read.
+type recordStore struct {
+	mu  sync.Mutex
+	ttl time.Duration
+	// byKey maps key -> (DocID, Provider) -> entry.
+	byKey map[ID]map[recordKey]recordEntry
+}
+
+type recordKey struct {
+	docID    index.DocID
+	provider transport.PeerID
+}
+
+type recordEntry struct {
+	rec     Record
+	expires time.Time
+}
+
+func newRecordStore(ttl time.Duration) *recordStore {
+	return &recordStore{ttl: ttl, byKey: make(map[ID]map[recordKey]recordEntry)}
+}
+
+// put upserts records under key, (re)starting their TTL at now.
+func (rs *recordStore) put(key ID, recs []Record, now time.Time) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	m := rs.byKey[key]
+	if m == nil {
+		m = make(map[recordKey]recordEntry)
+		rs.byKey[key] = m
+	}
+	for _, rec := range recs {
+		if rec.DocID == "" || rec.Provider == "" {
+			continue
+		}
+		m[recordKey{rec.DocID, rec.Provider}] = recordEntry{rec: rec, expires: now.Add(rs.ttl)}
+	}
+}
+
+// remove withdraws one provider's record under key.
+func (rs *recordStore) remove(key ID, docID index.DocID, provider transport.PeerID) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if m := rs.byKey[key]; m != nil {
+		delete(m, recordKey{docID, provider})
+		if len(m) == 0 {
+			delete(rs.byKey, key)
+		}
+	}
+}
+
+// get returns the unexpired records under key that match the
+// community/filter, sorted by (DocID, Provider) so replies are
+// deterministic, capped at limit (0 = all). Expired entries found
+// along the way are pruned.
+func (rs *recordStore) get(key ID, now time.Time, communityID string, f query.Filter, limit int) []Record {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	m := rs.byKey[key]
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]Record, 0, len(m))
+	for rk, e := range m {
+		if !e.expires.After(now) {
+			delete(m, rk)
+			continue
+		}
+		if communityID != "" && e.rec.CommunityID != communityID {
+			continue
+		}
+		if f != nil && !f.Match(e.rec.Attrs) {
+			continue
+		}
+		out = append(out, e.rec)
+	}
+	if len(m) == 0 {
+		delete(rs.byKey, key)
+	}
+	sortRecords(out)
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// len counts unexpired records (for tests and metrics; prunes as a
+// side effect).
+func (rs *recordStore) len(now time.Time) int {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	n := 0
+	for key, m := range rs.byKey {
+		for rk, e := range m {
+			if !e.expires.After(now) {
+				delete(m, rk)
+				continue
+			}
+			n++
+		}
+		if len(m) == 0 {
+			delete(rs.byKey, key)
+		}
+	}
+	return n
+}
+
+// sortRecords orders records by (DocID, Provider): the canonical
+// deterministic order for every record set that crosses the wire or
+// reaches a caller.
+func sortRecords(recs []Record) {
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].DocID != recs[j].DocID {
+			return recs[i].DocID < recs[j].DocID
+		}
+		return recs[i].Provider < recs[j].Provider
+	})
+}

@@ -1,0 +1,191 @@
+package dht
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/transport"
+)
+
+// Contact is one known peer: its network identity and its point in
+// the keyspace (always NodeIDFor(Peer); cached to avoid rehashing on
+// every distance comparison).
+type Contact struct {
+	ID   ID
+	Peer transport.PeerID
+}
+
+// ContactFor builds the contact for a peer.
+func ContactFor(peer transport.PeerID) Contact {
+	return Contact{ID: NodeIDFor(peer), Peer: peer}
+}
+
+// Table is a Kademlia routing table: IDBits k-buckets, bucket i
+// holding up to k contacts whose most significant differing bit from
+// the local ID is bit i. Each bucket is kept in least-recently-seen
+// order (front = oldest), the order LRU eviction consumes.
+//
+// Eviction policy: Observe never probes the network — a full bucket
+// parks newcomers in a per-bucket replacement cache instead of
+// pinging the oldest contact inline. Pinging from inside a message
+// handler would recurse unboundedly on the synchronous simulated
+// network (A's ping makes B update its table, which pings C, ...).
+// Liveness checks instead run on the owner's schedule
+// (Node.CheckLiveness, driven by the simulation clock): the
+// least-recently-seen contact of each bucket is probed, dead contacts
+// are evicted, and the freshest replacement-cache entry takes the
+// slot. Definitive send failures (transport.IsPeerDead) evict
+// immediately via Remove.
+type Table struct {
+	self ID
+	k    int
+
+	mu      sync.Mutex
+	buckets [IDBits]bucket
+	size    int
+}
+
+type bucket struct {
+	live  []Contact // least recently seen first
+	spare []Contact // replacement cache, least recently seen first
+}
+
+// NewTable builds a table for the node with the given ID and bucket
+// capacity k.
+func NewTable(self ID, k int) *Table {
+	if k <= 0 {
+		k = DefaultK
+	}
+	return &Table{self: self, k: k}
+}
+
+// Self returns the table owner's ID.
+func (t *Table) Self() ID { return t.self }
+
+// Len returns the number of live contacts across all buckets.
+func (t *Table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.size
+}
+
+// Observe records traffic from a peer: a known contact moves to the
+// most-recently-seen end of its bucket; an unknown one fills a free
+// slot, or parks in the bucket's replacement cache when the bucket is
+// full (evicting the cache's own oldest entry if needed).
+func (t *Table) Observe(peer transport.PeerID) {
+	c := ContactFor(peer)
+	bi := BucketIndex(t.self, c.ID)
+	if bi < 0 {
+		return // self
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b := &t.buckets[bi]
+	if moveToBack(&b.live, peer) {
+		return
+	}
+	if len(b.live) < t.k {
+		b.live = append(b.live, c)
+		t.size++
+		removeContact(&b.spare, peer)
+		return
+	}
+	if moveToBack(&b.spare, peer) {
+		return
+	}
+	if len(b.spare) >= t.k {
+		b.spare = b.spare[1:] // drop the stalest candidate
+	}
+	b.spare = append(b.spare, c)
+}
+
+// Remove evicts a peer (dead by direct evidence) from its bucket and
+// promotes the freshest replacement-cache candidate into the slot.
+func (t *Table) Remove(peer transport.PeerID) {
+	id := NodeIDFor(peer)
+	bi := BucketIndex(t.self, id)
+	if bi < 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b := &t.buckets[bi]
+	if removeContact(&b.live, peer) {
+		t.size--
+		if n := len(b.spare); n > 0 {
+			t.size++
+			b.live = append(b.live, b.spare[n-1])
+			b.spare = b.spare[:n-1]
+		}
+	} else {
+		removeContact(&b.spare, peer)
+	}
+}
+
+// Oldest returns the least-recently-seen live contact of every
+// non-empty bucket, in ascending bucket order: the probe set for one
+// liveness-check round.
+func (t *Table) Oldest() []Contact {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []Contact
+	for i := range t.buckets {
+		if live := t.buckets[i].live; len(live) > 0 {
+			out = append(out, live[0])
+		}
+	}
+	return out
+}
+
+// Closest returns up to n live contacts sorted by XOR distance to
+// target (ties — only possible between identical IDs — broken by peer
+// name, so the order is total and deterministic).
+func (t *Table) Closest(target ID, n int) []Contact {
+	t.mu.Lock()
+	all := make([]Contact, 0, t.size)
+	for i := range t.buckets {
+		all = append(all, t.buckets[i].live...)
+	}
+	t.mu.Unlock()
+	sortByDistance(all, target)
+	if n > 0 && len(all) > n {
+		all = all[:n]
+	}
+	return all
+}
+
+// sortByDistance orders contacts by XOR distance to target.
+func sortByDistance(cs []Contact, target ID) {
+	sort.Slice(cs, func(i, j int) bool {
+		if c := CompareDistance(cs[i].ID, cs[j].ID, target); c != 0 {
+			return c < 0
+		}
+		return cs[i].Peer < cs[j].Peer
+	})
+}
+
+// moveToBack relocates peer to the most-recently-seen end if present.
+func moveToBack(cs *[]Contact, peer transport.PeerID) bool {
+	s := *cs
+	for i, c := range s {
+		if c.Peer == peer {
+			copy(s[i:], s[i+1:])
+			s[len(s)-1] = c
+			return true
+		}
+	}
+	return false
+}
+
+// removeContact deletes peer if present.
+func removeContact(cs *[]Contact, peer transport.PeerID) bool {
+	s := *cs
+	for i, c := range s {
+		if c.Peer == peer {
+			*cs = append(s[:i], s[i+1:]...)
+			return true
+		}
+	}
+	return false
+}

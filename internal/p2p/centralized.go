@@ -202,7 +202,7 @@ func (s *IndexServer) search(communityID string, f query.Filter, limit int) []Re
 type CentralizedClient struct {
 	ep      transport.Endpoint
 	store   *index.Store
-	pending *pendingTable
+	pending *PendingTable
 	clk     dsim.Clock
 
 	mu     sync.RWMutex
@@ -220,7 +220,7 @@ func NewCentralizedClient(ep transport.Endpoint, server transport.PeerID, store 
 		ep:      ep,
 		server:  server,
 		store:   store,
-		pending: newPendingTable(),
+		pending: NewPendingTable(),
 		clk:     dsim.Wall,
 	}
 	ep.SetHandler(c.handle)
@@ -305,9 +305,9 @@ func (c *CentralizedClient) registerBatch(server transport.PeerID, docs []*index
 
 // Rehome repoints the client at a new server (FastTrack leaves call
 // this when their super-peer fails) and re-registers every locally
-// stored document with it — the leaf re-registration path, driven by
-// the caller's failure-detection schedule rather than an internal
-// wall-clock timer.
+// stored document with it — ReannounceLocal over the register-batch
+// wire path, driven by the caller's failure-detection schedule rather
+// than an internal wall-clock timer.
 func (c *CentralizedClient) Rehome(server transport.PeerID) error {
 	c.mu.Lock()
 	if c.closed {
@@ -316,8 +316,9 @@ func (c *CentralizedClient) Rehome(server transport.PeerID) error {
 	}
 	c.server = server
 	c.mu.Unlock()
-	docs := c.store.Search("", query.MatchAll{}, 0)
-	return c.registerBatch(server, docs)
+	return ReannounceLocal(c.store, func(docs []*index.Document) error {
+		return c.registerBatch(server, docs)
+	})
 }
 
 // Unpublish implements Network.
@@ -335,7 +336,7 @@ func (c *CentralizedClient) Search(communityID string, f query.Filter, opts Sear
 	if f == nil {
 		f = query.MatchAll{}
 	}
-	reqID, ch := c.pending.create()
+	reqID, ch := c.pending.Create()
 	err := c.ep.Send(transport.Message{
 		To:   c.Server(),
 		Type: MsgSearch,
@@ -347,12 +348,12 @@ func (c *CentralizedClient) Search(communityID string, f query.Filter, opts Sear
 		}),
 	})
 	if err != nil {
-		c.pending.drop(reqID)
+		c.pending.Drop(reqID)
 		return nil, fmt.Errorf("p2p: search: %w", err)
 	}
-	raw, err := await(c.clk, c.ep.Synchronous(), ch, opts.Timeout)
+	raw, err := Await(c.clk, c.ep.Synchronous(), ch, opts.Timeout)
 	if err != nil {
-		c.pending.drop(reqID)
+		c.pending.Drop(reqID)
 		return nil, err
 	}
 	var hit searchHitPayload
@@ -367,12 +368,12 @@ func (c *CentralizedClient) Retrieve(id index.DocID, from transport.PeerID) (*in
 	if from == c.PeerID() {
 		return c.store.Get(id)
 	}
-	return retrieveFrom(c.clk, c.ep, c.pending, id, from, 0)
+	return RetrieveFrom(c.clk, c.ep, c.pending, id, from, 0)
 }
 
 // RetrieveAttachment implements Network.
 func (c *CentralizedClient) RetrieveAttachment(uri string, from transport.PeerID) ([]byte, error) {
-	return retrieveAttachmentFrom(c.clk, c.ep, c.pending, uri, from, 0)
+	return RetrieveAttachmentFrom(c.clk, c.ep, c.pending, uri, from, 0)
 }
 
 // Close implements Network.
@@ -394,26 +395,26 @@ func (c *CentralizedClient) handle(msg transport.Message) {
 		if err := json.Unmarshal(msg.Payload, &hit); err != nil {
 			return
 		}
-		c.pending.resolve(hit.ReqID, msg.Payload)
+		c.pending.Resolve(hit.ReqID, msg.Payload)
 	case MsgFetchReply:
 		var reply fetchReplyPayload
 		if err := json.Unmarshal(msg.Payload, &reply); err != nil {
 			return
 		}
-		c.pending.resolve(reply.ReqID, msg.Payload)
+		c.pending.Resolve(reply.ReqID, msg.Payload)
 	case MsgAttachmentReply:
 		var reply attachmentReplyPayload
 		if err := json.Unmarshal(msg.Payload, &reply); err != nil {
 			return
 		}
-		c.pending.resolve(reply.ReqID, msg.Payload)
+		c.pending.Resolve(reply.ReqID, msg.Payload)
 	case MsgFetch:
-		serveFetch(c.ep, c.store, msg)
+		ServeFetch(c.ep, c.store, msg)
 	case MsgAttachment:
 		c.mu.RLock()
 		p := c.attach
 		c.mu.RUnlock()
-		serveAttachment(c.ep, p, msg)
+		ServeAttachment(c.ep, p, msg)
 	}
 }
 

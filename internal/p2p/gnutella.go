@@ -18,7 +18,7 @@ import (
 type GnutellaNode struct {
 	ep      transport.Endpoint
 	store   *index.Store
-	pending *pendingTable
+	pending *PendingTable
 	guids   *guidSource
 	clk     dsim.Clock
 
@@ -71,7 +71,7 @@ func NewGnutellaNode(ep transport.Endpoint, store *index.Store) *GnutellaNode {
 	g := &GnutellaNode{
 		ep:        ep,
 		store:     store,
-		pending:   newPendingTable(),
+		pending:   NewPendingTable(),
 		guids:     newGUIDSource(ep.ID()),
 		clk:       dsim.Wall,
 		neighbors: make(map[transport.PeerID]struct{}),
@@ -206,12 +206,12 @@ func (g *GnutellaNode) Retrieve(id index.DocID, from transport.PeerID) (*index.D
 	if from == g.PeerID() {
 		return g.store.Get(id)
 	}
-	return retrieveFrom(g.clk, g.ep, g.pending, id, from, 0)
+	return RetrieveFrom(g.clk, g.ep, g.pending, id, from, 0)
 }
 
 // RetrieveAttachment implements Network.
 func (g *GnutellaNode) RetrieveAttachment(uri string, from transport.PeerID) ([]byte, error) {
-	return retrieveAttachmentFrom(g.clk, g.ep, g.pending, uri, from, 0)
+	return RetrieveAttachmentFrom(g.clk, g.ep, g.pending, uri, from, 0)
 }
 
 // Close implements Network.
@@ -258,7 +258,7 @@ func (g *GnutellaNode) handle(msg transport.Message) {
 	case MsgPong:
 		g.handlePong(msg)
 	case MsgFetch:
-		serveFetch(g.ep, g.store, msg)
+		ServeFetch(g.ep, g.store, msg)
 	case MsgFetchReply, MsgAttachmentReply:
 		var probe struct {
 			ReqID uint64 `json:"reqId"`
@@ -266,12 +266,12 @@ func (g *GnutellaNode) handle(msg transport.Message) {
 		if err := json.Unmarshal(msg.Payload, &probe); err != nil {
 			return
 		}
-		g.pending.resolve(probe.ReqID, msg.Payload)
+		g.pending.Resolve(probe.ReqID, msg.Payload)
 	case MsgAttachment:
 		g.mu.RLock()
 		p := g.attach
 		g.mu.RUnlock()
-		serveAttachment(g.ep, p, msg)
+		ServeAttachment(g.ep, p, msg)
 	}
 }
 

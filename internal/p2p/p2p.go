@@ -215,19 +215,25 @@ func marshal(v any) []byte {
 
 // --- request/response correlation ---
 
-// pendingTable matches responses to outstanding requests by ID.
-type pendingTable struct {
+// PendingTable matches responses to outstanding requests by ID. It is
+// exported (with Await) so additional protocol implementations — the
+// DHT overlay in internal/dht — reuse the same correlation layer
+// instead of reimplementing it. Request IDs count locally per table,
+// which keeps them deterministic per node per run (a requirement of
+// golden-trace reproducibility, like the per-node GUID sources).
+type PendingTable struct {
 	mu   sync.Mutex
 	next uint64
 	m    map[uint64]chan json.RawMessage
 }
 
-func newPendingTable() *pendingTable {
-	return &pendingTable{m: make(map[uint64]chan json.RawMessage)}
+// NewPendingTable returns an empty correlation table.
+func NewPendingTable() *PendingTable {
+	return &PendingTable{m: make(map[uint64]chan json.RawMessage)}
 }
 
-// create registers a new request and returns its ID and reply channel.
-func (p *pendingTable) create() (uint64, chan json.RawMessage) {
+// Create registers a new request and returns its ID and reply channel.
+func (p *PendingTable) Create() (uint64, chan json.RawMessage) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.next++
@@ -237,8 +243,8 @@ func (p *pendingTable) create() (uint64, chan json.RawMessage) {
 	return id, ch
 }
 
-// resolve delivers a response; late or unknown responses are dropped.
-func (p *pendingTable) resolve(id uint64, payload json.RawMessage) {
+// Resolve delivers a response; late or unknown responses are dropped.
+func (p *PendingTable) Resolve(id uint64, payload json.RawMessage) {
 	p.mu.Lock()
 	ch, ok := p.m[id]
 	if ok {
@@ -253,21 +259,21 @@ func (p *pendingTable) resolve(id uint64, payload json.RawMessage) {
 	}
 }
 
-// drop abandons a request.
-func (p *pendingTable) drop(id uint64) {
+// Drop abandons a request.
+func (p *PendingTable) Drop(id uint64) {
 	p.mu.Lock()
 	delete(p.m, id)
 	p.mu.Unlock()
 }
 
-// await waits for a response with a timeout measured on clk. On a
+// Await waits for a response with a timeout measured on clk. On a
 // synchronous transport the reply to a Send (if any) has already been
 // delivered by the time Send returned, so an empty channel is a
-// definitive timeout: await returns immediately instead of blocking a
+// definitive timeout: Await returns immediately instead of blocking a
 // wall-clock timeout out, which is what lets lossy simulations run
 // 100k queries in seconds and keeps virtual clocks free of real
 // waiting.
-func await(clk dsim.Clock, synchronous bool, ch chan json.RawMessage, timeout time.Duration) (json.RawMessage, error) {
+func Await(clk dsim.Clock, synchronous bool, ch chan json.RawMessage, timeout time.Duration) (json.RawMessage, error) {
 	select {
 	case payload := <-ch:
 		return payload, nil
@@ -320,9 +326,10 @@ func sortedPeers(m map[transport.PeerID]struct{}) []transport.PeerID {
 	return out
 }
 
-// serveFetch answers MsgFetch from a local store: the provider side of
-// Retrieve, shared by both protocols.
-func serveFetch(ep transport.Endpoint, store *index.Store, msg transport.Message) {
+// ServeFetch answers MsgFetch from a local store: the provider side of
+// Retrieve, shared by every protocol implementation (including the DHT
+// overlay in internal/dht, which is why it is exported).
+func ServeFetch(ep transport.Endpoint, store *index.Store, msg transport.Message) {
 	var req fetchPayload
 	if err := json.Unmarshal(msg.Payload, &req); err != nil {
 		return
@@ -339,8 +346,8 @@ func serveFetch(ep transport.Endpoint, store *index.Store, msg transport.Message
 	})
 }
 
-// serveAttachment answers MsgAttachment via the provider callback.
-func serveAttachment(ep transport.Endpoint, provider AttachmentProvider, msg transport.Message) {
+// ServeAttachment answers MsgAttachment via the provider callback.
+func ServeAttachment(ep transport.Endpoint, provider AttachmentProvider, msg transport.Message) {
 	var req attachmentPayload
 	if err := json.Unmarshal(msg.Payload, &req); err != nil {
 		return
@@ -359,22 +366,22 @@ func serveAttachment(ep transport.Endpoint, provider AttachmentProvider, msg tra
 	})
 }
 
-// retrieveFrom implements the client side of Retrieve for both
-// protocols.
-func retrieveFrom(clk dsim.Clock, ep transport.Endpoint, pending *pendingTable, id index.DocID, from transport.PeerID, timeout time.Duration) (*index.Document, error) {
-	reqID, ch := pending.create()
+// RetrieveFrom implements the client side of Retrieve for every
+// protocol.
+func RetrieveFrom(clk dsim.Clock, ep transport.Endpoint, pending *PendingTable, id index.DocID, from transport.PeerID, timeout time.Duration) (*index.Document, error) {
+	reqID, ch := pending.Create()
 	err := ep.Send(transport.Message{
 		To:      from,
 		Type:    MsgFetch,
 		Payload: marshal(fetchPayload{ReqID: reqID, DocID: id}),
 	})
 	if err != nil {
-		pending.drop(reqID)
+		pending.Drop(reqID)
 		return nil, fmt.Errorf("p2p: fetch: %w", err)
 	}
-	raw, err := await(clk, ep.Synchronous(), ch, timeout)
+	raw, err := Await(clk, ep.Synchronous(), ch, timeout)
 	if err != nil {
-		pending.drop(reqID)
+		pending.Drop(reqID)
 		return nil, err
 	}
 	var reply fetchReplyPayload
@@ -387,22 +394,22 @@ func retrieveFrom(clk dsim.Clock, ep transport.Endpoint, pending *pendingTable, 
 	return reply.Doc, nil
 }
 
-// retrieveAttachmentFrom implements the client side of attachment
+// RetrieveAttachmentFrom implements the client side of attachment
 // download for both protocols.
-func retrieveAttachmentFrom(clk dsim.Clock, ep transport.Endpoint, pending *pendingTable, uri string, from transport.PeerID, timeout time.Duration) ([]byte, error) {
-	reqID, ch := pending.create()
+func RetrieveAttachmentFrom(clk dsim.Clock, ep transport.Endpoint, pending *PendingTable, uri string, from transport.PeerID, timeout time.Duration) ([]byte, error) {
+	reqID, ch := pending.Create()
 	err := ep.Send(transport.Message{
 		To:      from,
 		Type:    MsgAttachment,
 		Payload: marshal(attachmentPayload{ReqID: reqID, URI: uri}),
 	})
 	if err != nil {
-		pending.drop(reqID)
+		pending.Drop(reqID)
 		return nil, fmt.Errorf("p2p: attachment: %w", err)
 	}
-	raw, err := await(clk, ep.Synchronous(), ch, timeout)
+	raw, err := Await(clk, ep.Synchronous(), ch, timeout)
 	if err != nil {
-		pending.drop(reqID)
+		pending.Drop(reqID)
 		return nil, err
 	}
 	var reply attachmentReplyPayload
@@ -413,4 +420,14 @@ func retrieveAttachmentFrom(clk dsim.Clock, ep transport.Endpoint, pending *pend
 		return nil, fmt.Errorf("%w: attachment %s at %s", ErrNotProvided, uri, from)
 	}
 	return reply.Data, nil
+}
+
+// ReannounceLocal streams every document in the local store through
+// announce, in DocID order. It is the shared "re-register everything I
+// hold" step behind leaf re-registration after super-peer failover
+// (CentralizedClient.Rehome, and therefore FastTrackLeaf.Rehome) and
+// behind the DHT overlay's republish/bucket-repair path — one
+// definition of what a peer re-announces, three recovery mechanisms.
+func ReannounceLocal(store *index.Store, announce func(docs []*index.Document) error) error {
+	return announce(store.Search("", query.MatchAll{}, 0))
 }

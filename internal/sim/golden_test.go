@@ -37,6 +37,14 @@ func goldenConfig(proto Protocol, seed int64) ScenarioConfig {
 		cfg.FailSupers = 1
 		cfg.RehomeDelay = 3 * time.Second
 	}
+	if proto == DHT {
+		// Small k plus a TTL shorter than the run forces every DHT
+		// mechanism through the trace: replication, record expiry,
+		// scheduled refresh/republish, and liveness-driven eviction.
+		cfg.Cluster.DHTK = 8
+		cfg.Cluster.DHTRecordTTL = 20 * time.Second
+		cfg.DHTRefreshEvery = 7 * time.Second
+	}
 	return cfg
 }
 
@@ -46,7 +54,7 @@ func goldenConfig(proto Protocol, seed int64) ScenarioConfig {
 // process-global state leaking between runs (e.g. a shared GUID
 // counter would shift every query payload on the second run).
 func TestGoldenTraceDeterminism(t *testing.T) {
-	for _, proto := range []Protocol{Centralized, Gnutella, FastTrack} {
+	for _, proto := range []Protocol{Centralized, Gnutella, FastTrack, DHT} {
 		t.Run(proto.String(), func(t *testing.T) {
 			r1, err := RunScenario(goldenConfig(proto, 42))
 			if err != nil {

@@ -53,6 +53,12 @@ type ScenarioConfig struct {
 	FailSupersAt time.Duration
 	FailSupers   int
 	RehomeDelay  time.Duration
+	// DHTRefreshEvery, if positive (DHT protocol only), schedules
+	// periodic overlay maintenance: every interval each live peer runs
+	// bucket repair and republishes its documents (Cluster.RefreshDHT)
+	// — the DHT's rehome-equivalent, which is what lets recall recover
+	// from departed record holders.
+	DHTRefreshEvery time.Duration
 }
 
 // QuerySample is one measured query.
@@ -82,6 +88,9 @@ type ScenarioResult struct {
 	Arrivals   int
 	Departures int
 	Rehomed    int
+	// Refreshes counts DHT maintenance rounds (peer-refreshes summed
+	// over all DHTRefreshEvery firings).
+	Refreshes  int
 	Messages   int64
 	Dropped    int64
 	TraceHash  uint64
@@ -315,6 +324,22 @@ func (s *scenario) scheduleStreams() {
 	}
 	if s.cfg.FailSupersAt > 0 && s.cfg.FailSupers > 0 {
 		s.clk.Schedule(s.cfg.FailSupersAt, func(time.Time) { s.runSuperFailure() })
+	}
+	if s.cfg.DHTRefreshEvery > 0 && s.cfg.Cluster.Protocol == DHT {
+		var fire func(time.Time)
+		fire = func(now time.Time) {
+			if s.err != nil || now.After(s.end) {
+				return
+			}
+			moved, err := s.cluster.RefreshDHT()
+			if err != nil {
+				s.err = err
+				return
+			}
+			s.res.Refreshes += moved
+			s.clk.Schedule(s.cfg.DHTRefreshEvery, fire)
+		}
+		s.clk.Schedule(s.cfg.DHTRefreshEvery, fire)
 	}
 }
 

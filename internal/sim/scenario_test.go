@@ -12,13 +12,14 @@ import (
 )
 
 func TestScenarioBasicAllProtocols(t *testing.T) {
-	for _, proto := range []Protocol{Centralized, Gnutella, FastTrack} {
+	for _, proto := range []Protocol{Centralized, Gnutella, FastTrack, DHT} {
 		t.Run(proto.String(), func(t *testing.T) {
 			r, err := RunScenario(ScenarioConfig{
 				Cluster:   Config{Peers: 30, Protocol: proto, Degree: 4, Seed: 5, Latency: 20 * time.Millisecond, Jitter: 10 * time.Millisecond},
 				Duration:  30 * time.Second,
 				QueryRate: 2, ArrivalRate: 0.2, DepartureRate: 0.2,
-				InitialObjects: 40,
+				InitialObjects:  40,
+				DHTRefreshEvery: 10 * time.Second, // ignored outside DHT
 			})
 			if err != nil {
 				t.Fatal(err)

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/dht"
 	"repro/internal/dsim"
 	"repro/internal/index"
 	"repro/internal/p2p"
@@ -22,14 +23,19 @@ import (
 // Protocol selects the network layer under the servents.
 type Protocol int
 
-// Supported protocols (the two named in Fig. 3 that the paper's
-// prototype targets).
+// Supported protocols: the three named in the paper's Fig. 3
+// enumeration plus the structured overlay the paper leaves
+// unexplored.
 const (
 	Centralized Protocol = iota + 1
 	Gnutella
 	// FastTrack is the super-peer hybrid: leaves register with a
 	// super-peer; queries flood the (small) super-peer overlay.
 	FastTrack
+	// DHT is the Kademlia-style structured overlay (internal/dht):
+	// publications replicate onto the k nodes closest to their
+	// community key and searches route there in O(log n) hops.
+	DHT
 )
 
 func (p Protocol) String() string {
@@ -40,6 +46,8 @@ func (p Protocol) String() string {
 		return "gnutella"
 	case FastTrack:
 		return "fasttrack"
+	case DHT:
+		return "dht"
 	default:
 		return "protocol?"
 	}
@@ -57,6 +65,14 @@ type Config struct {
 	// SuperPeers is the number of FastTrack super-peers (default
 	// max(2, Peers/8)); ignored for other protocols.
 	SuperPeers int
+	// DHTK is the DHT bucket capacity / replication factor and
+	// DHTAlpha the lookup parallelism (0 = dht package defaults);
+	// ignored for other protocols.
+	DHTK     int
+	DHTAlpha int
+	// DHTRecordTTL bounds how long DHT record holders keep an
+	// unrefreshed record (0 = dht package default).
+	DHTRecordTTL time.Duration
 	// Seed drives topology and fault randomness.
 	Seed int64
 	// DropRate is the per-message loss probability.
@@ -88,6 +104,7 @@ type Cluster struct {
 	cfg    Config
 	clock  dsim.Clock
 	nodes  []*p2p.GnutellaNode // parallel to Servents under Gnutella
+	dhts   []*dht.Node         // parallel to Servents under DHT
 	supers []*p2p.SuperPeer    // FastTrack super-peer overlay
 	// leafSuper maps servent index to its super-peer (FastTrack);
 	// -1 when the super failed and the leaf has not rehomed yet.
@@ -131,7 +148,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			return nil, err
 		}
 		c.Server = p2p.NewIndexServer(sep)
-	case Gnutella:
+	case Gnutella, DHT:
 		// Peers carry the whole overlay; nothing global to set up.
 	case FastTrack:
 		superN := cfg.SuperPeers
@@ -167,8 +184,16 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			return nil, err
 		}
 	}
-	if cfg.Protocol == Gnutella {
+	switch cfg.Protocol {
+	case Gnutella:
 		c.wireOverlay(cfg.Degree)
+	case DHT:
+		// Kademlia join: everyone bootstraps off peer 0 and looks up
+		// its own ID, populating tables along the way. Fixed iteration
+		// order keeps construction traffic deterministic.
+		for i := 1; i < len(c.dhts); i++ {
+			c.dhts[i].Bootstrap(c.dhts[0].PeerID())
+		}
 	}
 	return c, nil
 }
@@ -192,6 +217,15 @@ func (c *Cluster) newPeer() (int, error) {
 		node := p2p.NewGnutellaNode(ep, st)
 		node.SetClock(c.clock)
 		c.nodes = append(c.nodes, node)
+		netw = node
+	case DHT:
+		node := dht.NewNode(ep, st, dht.Config{
+			K:         c.cfg.DHTK,
+			Alpha:     c.cfg.DHTAlpha,
+			RecordTTL: c.cfg.DHTRecordTTL,
+		})
+		node.SetClock(c.clock)
+		c.dhts = append(c.dhts, node)
 		netw = node
 	case FastTrack:
 		var superIdx int
@@ -225,14 +259,16 @@ func (c *Cluster) newPeer() (int, error) {
 // AddPeer attaches a new servent mid-run — a churn arrival. Under
 // Gnutella the newcomer links to Degree random live peers (its
 // bootstrap neighbors); under FastTrack it registers with a random
-// live super-peer. The caller typically follows with AdoptCommunity
-// and publication on the returned servent.
+// live super-peer; under DHT it runs the Kademlia join off a random
+// live peer. The caller typically follows with AdoptCommunity and
+// publication on the returned servent.
 func (c *Cluster) AddPeer() (int, error) {
 	i, err := c.newPeer()
 	if err != nil {
 		return -1, err
 	}
-	if c.cfg.Protocol == Gnutella {
+	switch c.cfg.Protocol {
+	case Gnutella:
 		var candidates []int
 		for j := range c.nodes {
 			if j != i && c.alive[j] && c.nodes[j] != nil {
@@ -249,6 +285,17 @@ func (c *Cluster) AddPeer() (int, error) {
 		for _, j := range candidates[:links] {
 			c.nodes[i].AddNeighbor(c.nodes[j].PeerID())
 			c.nodes[j].AddNeighbor(c.nodes[i].PeerID())
+		}
+	case DHT:
+		var candidates []int
+		for j := range c.dhts {
+			if j != i && c.alive[j] && c.dhts[j] != nil {
+				candidates = append(candidates, j)
+			}
+		}
+		if len(candidates) > 0 {
+			boot := candidates[c.rng.Intn(len(candidates))]
+			c.dhts[i].Bootstrap(c.dhts[boot].PeerID())
 		}
 	}
 	return i, nil
@@ -395,6 +442,15 @@ func (c *Cluster) Node(i int) *p2p.GnutellaNode {
 	return c.nodes[i]
 }
 
+// DHTNode returns the DHT node backing servent i (nil outside the DHT
+// protocol).
+func (c *Cluster) DHTNode(i int) *dht.Node {
+	if c.dhts == nil {
+		return nil
+	}
+	return c.dhts[i]
+}
+
 // Stats snapshots the network counters.
 func (c *Cluster) Stats() transport.Stats { return c.Net.Stats() }
 
@@ -509,6 +565,37 @@ func (c *Cluster) KillPeer(i int) {
 	if c.nodes != nil {
 		c.nodes[i] = nil
 	}
+	// DHT peers deliberately get no notification: dead contacts
+	// linger in routing tables until a failed send or a scheduled
+	// liveness check evicts them (RefreshDHT), and the dead peer's
+	// record replicas are simply gone — the failure model a UDP-style
+	// overlay actually faces, and what E14 measures.
+	if c.dhts != nil {
+		c.dhts[i] = nil
+	}
+}
+
+// RefreshDHT runs one maintenance round on every live DHT peer, in
+// index order: liveness-check-driven bucket repair plus republication
+// of all locally held documents (p2p.ReannounceLocal over the STORE
+// path). It is the DHT's rehome-equivalent, paced by the caller's
+// schedule like FastTrack's RehomeOrphans. Returns how many peers
+// refreshed.
+func (c *Cluster) RefreshDHT() (int, error) {
+	if c.cfg.Protocol != DHT {
+		return 0, nil
+	}
+	refreshed := 0
+	for i, n := range c.dhts {
+		if n == nil || !c.alive[i] {
+			continue
+		}
+		if err := n.Refresh(); err != nil {
+			return refreshed, fmt.Errorf("sim: refresh peer %d: %w", i, err)
+		}
+		refreshed++
+	}
+	return refreshed, nil
 }
 
 // SearchFrom runs a community search from peer i.

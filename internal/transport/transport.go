@@ -55,6 +55,16 @@ var (
 	ErrPartitioned = errors.New("transport: peers partitioned")
 )
 
+// IsPeerDead reports whether a Send error definitively means the
+// destination peer has left the network (its endpoint closed or was
+// never attached), as opposed to transient conditions like loss or a
+// partition. Overlay-maintenance code uses this to evict a contact on
+// first failure instead of waiting out a liveness probe: the DHT's
+// routing-table repair treats it as an authoritative death notice.
+func IsPeerDead(err error) bool {
+	return errors.Is(err, ErrUnknownPeer) || errors.Is(err, ErrClosed)
+}
+
 // Stats is a snapshot of network-wide accounting, the raw material of
 // the protocol-cost experiments (E3).
 type Stats struct {
