@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race fmt vet bench-smoke determinism sim-smoke ci
+.PHONY: build test race fmt vet bench-smoke determinism sim-smoke ops-smoke ci
 
 build:
 	$(GO) build ./...
@@ -47,4 +47,10 @@ sim-smoke:
 	$(GO) run ./cmd/up2pbench -run E10 -scn-peers 150 -scn-queries 50
 	$(GO) run ./cmd/up2pbench -run E14 -scn-peers 120 -scn-queries 40
 
-ci: build fmt vet test race bench-smoke determinism sim-smoke
+# Ops-surface smoke: boot up2pd, curl /metrics (both formats) and
+# /healthz, and assert the output is well-formed (needs curl + jq).
+ops-smoke:
+	$(GO) build -o /tmp/up2pd-ops-smoke ./cmd/up2pd
+	sh scripts/ops_smoke.sh /tmp/up2pd-ops-smoke
+
+ci: build fmt vet test race bench-smoke determinism sim-smoke ops-smoke

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Config collects every up2pd setting in one validated struct. Each
+// field is settable as a command-line flag or, when the flag is left at
+// its default, through an UP2P_* environment variable; precedence is
+// flag > environment > built-in default.
+type Config struct {
+	// Mode selects the protocol role: indexserver | superpeer |
+	// centralized | gnutella | fasttrack | dht. Env: UP2P_MODE.
+	Mode string
+	// P2PAddr is the TCP address for the P2P layer. Env: UP2P_P2P.
+	P2PAddr string
+	// HTTPAddr is the HTTP address serving the web interface and the
+	// ops endpoints (/metrics, /healthz). Env: UP2P_HTTP.
+	HTTPAddr string
+	// Server is the index server / super-peer address required by the
+	// centralized and fasttrack modes. Env: UP2P_SERVER.
+	Server string
+	// Neighbors are bootstrap peers (gnutella neighbors, super-peer
+	// overlay links, DHT contacts). Env: UP2P_NEIGHBORS
+	// (comma-separated).
+	Neighbors []string
+	// Seed optionally pre-seeds a demo community:
+	// designpatterns|mp3|cml|species. Env: UP2P_SEED.
+	Seed string
+	// SeedN is the number of seeded objects. Env: UP2P_SEEDN.
+	SeedN int
+	// StateDir is the directory for persistent state, loaded at start
+	// and saved on shutdown; empty disables persistence. Env:
+	// UP2P_STATE.
+	StateDir string
+}
+
+// LoadConfig parses args (without the program name), filling unset
+// flags from getenv, then validates the result. getenv is injected so
+// tests can run without mutating the process environment.
+func LoadConfig(args []string, getenv func(string) string) (Config, error) {
+	env := func(key, fallback string) string {
+		if v := getenv(key); v != "" {
+			return v
+		}
+		return fallback
+	}
+	seedN := 23
+	if v := getenv("UP2P_SEEDN"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return Config{}, fmt.Errorf("UP2P_SEEDN: %v", err)
+		}
+		seedN = n
+	}
+
+	var cfg Config
+	fs := flag.NewFlagSet("up2pd", flag.ContinueOnError)
+	fs.StringVar(&cfg.Mode, "mode", env("UP2P_MODE", "centralized"), "indexserver | superpeer | centralized | gnutella | fasttrack | dht (env UP2P_MODE)")
+	fs.StringVar(&cfg.P2PAddr, "p2p", env("UP2P_P2P", "127.0.0.1:7001"), "TCP address for the P2P layer (env UP2P_P2P)")
+	fs.StringVar(&cfg.HTTPAddr, "http", env("UP2P_HTTP", "127.0.0.1:8080"), "HTTP address for the web interface and ops endpoints (env UP2P_HTTP)")
+	fs.StringVar(&cfg.Server, "server", env("UP2P_SERVER", ""), "index server / super-peer address (centralized, fasttrack modes; env UP2P_SERVER)")
+	neighbors := fs.String("neighbors", env("UP2P_NEIGHBORS", ""), "comma-separated bootstrap neighbors (env UP2P_NEIGHBORS)")
+	fs.StringVar(&cfg.Seed, "seed", env("UP2P_SEED", ""), "pre-seed a demo community: designpatterns|mp3|cml|species (env UP2P_SEED)")
+	fs.IntVar(&cfg.SeedN, "seedn", seedN, "number of seeded objects (env UP2P_SEEDN)")
+	fs.StringVar(&cfg.StateDir, "state", env("UP2P_STATE", ""), "directory for persistent state, loaded at start and saved on shutdown (env UP2P_STATE)")
+	if err := fs.Parse(args); err != nil {
+		return Config{}, err
+	}
+	for _, n := range strings.Split(*neighbors, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			cfg.Neighbors = append(cfg.Neighbors, n)
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// Validate checks the cross-field constraints that flag parsing alone
+// cannot express.
+func (c Config) Validate() error {
+	switch c.Mode {
+	case "indexserver", "superpeer", "centralized", "gnutella", "fasttrack", "dht":
+	default:
+		return fmt.Errorf("unknown mode %q", c.Mode)
+	}
+	if c.P2PAddr == "" {
+		return fmt.Errorf("p2p address must not be empty")
+	}
+	if c.HTTPAddr == "" {
+		return fmt.Errorf("http address must not be empty (every mode serves /metrics and /healthz)")
+	}
+	if (c.Mode == "centralized" || c.Mode == "fasttrack") && c.Server == "" {
+		return fmt.Errorf("%s mode requires -server (or UP2P_SERVER)", c.Mode)
+	}
+	if c.SeedN <= 0 {
+		return fmt.Errorf("seedn must be positive, got %d", c.SeedN)
+	}
+	return nil
+}

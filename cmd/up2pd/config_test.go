@@ -1,0 +1,81 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func envMap(m map[string]string) func(string) string {
+	return func(k string) string { return m[k] }
+}
+
+func TestLoadConfigDefaults(t *testing.T) {
+	cfg, err := LoadConfig([]string{"-server", "127.0.0.1:7009"}, envMap(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Mode != "centralized" || cfg.P2PAddr != "127.0.0.1:7001" || cfg.SeedN != 23 {
+		t.Fatalf("unexpected defaults: %+v", cfg)
+	}
+}
+
+func TestLoadConfigDefaultCentralizedRequiresServer(t *testing.T) {
+	// The default mode is centralized, which requires a server.
+	_, err := LoadConfig(nil, envMap(nil))
+	if err == nil || !strings.Contains(err.Error(), "requires -server") {
+		t.Fatalf("want missing-server error, got %v", err)
+	}
+}
+
+func TestLoadConfigEnvFallback(t *testing.T) {
+	env := envMap(map[string]string{
+		"UP2P_MODE":      "dht",
+		"UP2P_P2P":       "10.0.0.1:9000",
+		"UP2P_NEIGHBORS": "a:1, b:2 ,",
+		"UP2P_SEEDN":     "7",
+	})
+	cfg, err := LoadConfig(nil, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Mode != "dht" || cfg.P2PAddr != "10.0.0.1:9000" || cfg.SeedN != 7 {
+		t.Fatalf("env fallbacks not applied: %+v", cfg)
+	}
+	if len(cfg.Neighbors) != 2 || cfg.Neighbors[0] != "a:1" || cfg.Neighbors[1] != "b:2" {
+		t.Fatalf("neighbors not split/trimmed: %q", cfg.Neighbors)
+	}
+}
+
+func TestLoadConfigFlagBeatsEnv(t *testing.T) {
+	env := envMap(map[string]string{"UP2P_MODE": "dht", "UP2P_HTTP": "1.2.3.4:80"})
+	cfg, err := LoadConfig([]string{"-mode", "gnutella"}, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Mode != "gnutella" {
+		t.Fatalf("flag should beat env, got mode %q", cfg.Mode)
+	}
+	if cfg.HTTPAddr != "1.2.3.4:80" {
+		t.Fatalf("untouched flag should fall back to env, got http %q", cfg.HTTPAddr)
+	}
+}
+
+func TestLoadConfigRejects(t *testing.T) {
+	cases := [][]string{
+		{"-mode", "napster"},                 // unknown mode
+		{"-mode", "gnutella", "-http", ""},   // ops surface is mandatory
+		{"-mode", "gnutella", "-seedn", "0"}, // non-positive seed count
+		{"-mode", "fasttrack"},               // no super-peer
+	}
+	for _, args := range cases {
+		if _, err := LoadConfig(args, envMap(nil)); err == nil {
+			t.Errorf("LoadConfig(%q) accepted invalid config", args)
+		}
+	}
+}
+
+func TestLoadConfigBadEnvSeedN(t *testing.T) {
+	if _, err := LoadConfig(nil, envMap(map[string]string{"UP2P_SEEDN": "lots"})); err == nil {
+		t.Fatal("malformed UP2P_SEEDN accepted")
+	}
+}

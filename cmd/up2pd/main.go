@@ -2,10 +2,15 @@
 // P2P node speaking the centralized (Napster-style), Gnutella,
 // FastTrack super-peer, or Kademlia DHT protocol, over real TCP.
 //
+// Configuration is flags with UP2P_* environment-variable fallbacks
+// (flag > env > default; see LoadConfig). Every mode serves an ops
+// surface on the HTTP address: /metrics (Prometheus text, or
+// expvar-style JSON with ?format=json) and /healthz.
+//
 // Topology bootstrapping:
 //
 //	# start a centralized index server
-//	up2pd -mode indexserver -p2p 127.0.0.1:7001
+//	up2pd -mode indexserver -p2p 127.0.0.1:7001 -http 127.0.0.1:8080
 //
 //	# start a servent against it
 //	up2pd -mode centralized -p2p 127.0.0.1:7002 -server 127.0.0.1:7001 -http 127.0.0.1:8081
@@ -14,13 +19,12 @@
 //	up2pd -mode gnutella -p2p 127.0.0.1:7002 -neighbors 127.0.0.1:7003,127.0.0.1:7004 -http 127.0.0.1:8081
 //
 //	# or a Kademlia DHT servent joining via bootstrap contacts
-//	up2pd -mode dht -p2p 127.0.0.1:7002 -neighbors 127.0.0.1:7003 -http 127.0.0.1:8081
+//	UP2P_MODE=dht UP2P_P2P=127.0.0.1:7002 UP2P_NEIGHBORS=127.0.0.1:7003 up2pd -http 127.0.0.1:8081
 //
 // Optionally pre-seed a demo community: -seed designpatterns|mp3|cml|species.
 package main
 
 import (
-	"flag"
 	"fmt"
 	"io"
 	"log"
@@ -28,13 +32,13 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
-	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/dht"
 	"repro/internal/index"
+	"repro/internal/metrics"
 	"repro/internal/p2p"
 	"repro/internal/query"
 	"repro/internal/servent"
@@ -49,74 +53,143 @@ func main() {
 }
 
 func run() error {
-	var (
-		mode      = flag.String("mode", "centralized", "indexserver | superpeer | centralized | gnutella | fasttrack | dht")
-		p2pAddr   = flag.String("p2p", "127.0.0.1:7001", "TCP address for the P2P layer")
-		httpAddr  = flag.String("http", "127.0.0.1:8080", "HTTP address for the web interface")
-		server    = flag.String("server", "", "index server / super-peer address (centralized, fasttrack modes)")
-		neighbors = flag.String("neighbors", "", "comma-separated neighbors (gnutella nodes, super-peer overlay)")
-		seed      = flag.String("seed", "", "pre-seed a demo community: designpatterns|mp3|cml|species")
-		seedN     = flag.Int("seedn", 23, "number of seeded objects")
-		stateDir  = flag.String("state", "", "directory for persistent state (loaded at start, saved on shutdown)")
-	)
-	flag.Parse()
-
-	node, err := transport.ListenTCP(*p2pAddr)
+	cfg, err := LoadConfig(os.Args[1:], os.Getenv)
 	if err != nil {
 		return err
 	}
+
+	// One registry for the whole daemon: transport, protocol node,
+	// store, and error telemetry aggregate here and are served on
+	// /metrics.
+	reg := metrics.NewRegistry()
+	start := time.Now()
+
+	node, err := transport.ListenTCP(cfg.P2PAddr)
+	if err != nil {
+		return err
+	}
+	node.SetMetrics(reg)
 	log.Printf("p2p listening on %s", node.ID())
 
-	switch *mode {
+	base := func() health {
+		return health{Status: "ok", Mode: cfg.Mode, Peer: string(node.ID()), Uptime: uptimeSince(start)}
+	}
+	var (
+		app      http.Handler
+		healthFn func() health
+		cleanup  func() error
+	)
+
+	switch cfg.Mode {
 	case "indexserver":
-		p2p.NewIndexServer(node)
-		log.Printf("index server running; Ctrl-C to stop")
-		waitForInterrupt()
-		return node.Close()
+		is := p2p.NewIndexServerOn(node, index.NewStore(index.WithMetrics(reg)))
+		healthFn = func() health {
+			h := base()
+			h.Docs = is.Len()
+			return h
+		}
+		cleanup = node.Close
 	case "superpeer":
 		sp := p2p.NewSuperPeer(node)
-		for _, n := range strings.Split(*neighbors, ",") {
-			if n = strings.TrimSpace(n); n != "" {
-				sp.AddNeighbor(transport.PeerID(n))
-			}
+		for _, n := range cfg.Neighbors {
+			sp.AddNeighbor(transport.PeerID(n))
 		}
-		log.Printf("super-peer running; Ctrl-C to stop")
-		waitForInterrupt()
-		return sp.Close()
+		healthFn = func() health {
+			h := base()
+			h.LivePeers = len(sp.Neighbors())
+			h.Docs = sp.Len()
+			return h
+		}
+		cleanup = sp.Close
+	default:
+		sv, hf, err := buildServent(cfg, node, reg, base)
+		if err != nil {
+			return err
+		}
+		if cfg.StateDir != "" {
+			defer func() {
+				if err := saveState(sv, cfg.StateDir); err != nil {
+					log.Printf("save state: %v", err)
+				}
+			}()
+		}
+		app = servent.New(sv)
+		healthFn = hf
+		cleanup = sv.Close
+		log.Printf("web interface on http://%s/", cfg.HTTPAddr)
 	}
 
-	store := index.NewStore()
+	log.Printf("ops surface on http://%s/metrics and /healthz", cfg.HTTPAddr)
+	srv := &http.Server{Addr: cfg.HTTPAddr, Handler: opsMux(reg, healthFn, app)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	intc := make(chan os.Signal, 1)
+	signal.Notify(intc, os.Interrupt)
+	select {
+	case err := <-errc:
+		_ = cleanup()
+		return err
+	case <-intc:
+		log.Printf("shutting down")
+		_ = srv.Close()
+		return cleanup()
+	}
+}
+
+// buildServent wires a servent-mode P2P node (centralized, gnutella,
+// fasttrack, dht) onto the shared registry and returns it with its
+// mode-specific health callback.
+func buildServent(cfg Config, node *transport.TCPNode, reg *metrics.Registry, base func() health) (*core.Servent, func() health, error) {
+	store := index.NewStore(index.WithMetrics(reg))
 	var network p2p.Network
-	switch *mode {
+	var healthFn func() health
+	switch cfg.Mode {
 	case "centralized":
-		if *server == "" {
-			return fmt.Errorf("centralized mode requires -server")
+		client := p2p.NewCentralizedClient(node, transport.PeerID(cfg.Server), store)
+		client.SetMetrics(reg)
+		network = client
+		healthFn = func() health {
+			h := base()
+			h.Server = string(client.Server())
+			h.LivePeers = 1
+			h.Docs = store.Len()
+			return h
 		}
-		network = p2p.NewCentralizedClient(node, transport.PeerID(*server), store)
 	case "fasttrack":
-		if *server == "" {
-			return fmt.Errorf("fasttrack mode requires -server (the super-peer)")
+		leaf := p2p.NewFastTrackLeaf(node, transport.PeerID(cfg.Server), store)
+		leaf.SetMetrics(reg)
+		network = leaf
+		healthFn = func() health {
+			h := base()
+			h.Server = string(leaf.Server())
+			h.LivePeers = 1
+			h.Docs = store.Len()
+			return h
 		}
-		network = p2p.NewFastTrackLeaf(node, transport.PeerID(*server), store)
 	case "gnutella":
 		g := p2p.NewGnutellaNode(node, store)
-		for _, n := range strings.Split(*neighbors, ",") {
-			if n = strings.TrimSpace(n); n != "" {
-				g.AddNeighbor(transport.PeerID(n))
-			}
+		g.SetMetrics(reg)
+		for _, n := range cfg.Neighbors {
+			g.AddNeighbor(transport.PeerID(n))
 		}
 		// Grow the overlay beyond the bootstrap list via Ping/Pong.
 		if found := g.Discover(3); len(found) > 0 {
 			log.Printf("discovered %d additional peers via ping/pong", len(found))
 		}
 		network = g
+		healthFn = func() health {
+			h := base()
+			h.LivePeers = len(g.Neighbors())
+			h.Docs = store.Len()
+			return h
+		}
 	case "dht":
 		d := dht.NewNode(node, store, dht.Config{})
+		d.SetMetrics(reg)
 		var boot []transport.PeerID
-		for _, n := range strings.Split(*neighbors, ",") {
-			if n = strings.TrimSpace(n); n != "" {
-				boot = append(boot, transport.PeerID(n))
-			}
+		for _, n := range cfg.Neighbors {
+			boot = append(boot, transport.PeerID(n))
 		}
 		// The Kademlia join (self-lookup off the bootstrap contacts)
 		// populates the routing table before the servent starts.
@@ -137,47 +210,33 @@ func run() error {
 			}
 		}()
 		network = d
+		healthFn = func() health {
+			h := base()
+			h.LivePeers = d.TableLen()
+			h.Docs = store.Len()
+			h.DHTRecords = d.RecordCount()
+			return h
+		}
 	default:
-		return fmt.Errorf("unknown mode %q", *mode)
+		return nil, nil, fmt.Errorf("unknown mode %q", cfg.Mode)
 	}
 
 	sv, err := core.NewServent(network, store)
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
-	if *stateDir != "" {
-		if err := loadState(sv, *stateDir); err != nil {
-			return err
+	if cfg.StateDir != "" {
+		if err := loadState(sv, cfg.StateDir); err != nil {
+			return nil, nil, err
 		}
-		defer func() {
-			if err := saveState(sv, *stateDir); err != nil {
-				log.Printf("save state: %v", err)
-			}
-		}()
 	}
-	if *seed != "" {
-		if err := seedCommunity(sv, *seed, *seedN); err != nil {
-			return err
+	if cfg.Seed != "" {
+		if err := seedCommunity(sv, cfg.Seed, cfg.SeedN); err != nil {
+			return nil, nil, err
 		}
-		log.Printf("seeded %d %s objects", *seedN, *seed)
+		log.Printf("seeded %d %s objects", cfg.SeedN, cfg.Seed)
 	}
-
-	h := servent.New(sv)
-	log.Printf("web interface on http://%s/", *httpAddr)
-	srv := &http.Server{Addr: *httpAddr, Handler: h}
-	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
-
-	intc := make(chan os.Signal, 1)
-	signal.Notify(intc, os.Interrupt)
-	select {
-	case err := <-errc:
-		return err
-	case <-intc:
-		log.Printf("shutting down")
-		_ = srv.Close()
-		return sv.Close()
-	}
+	return sv, healthFn, nil
 }
 
 func seedCommunity(sv *core.Servent, name string, n int) error {
@@ -200,12 +259,6 @@ func seedCommunity(sv *core.Servent, name string, n int) error {
 		}
 	}
 	return nil
-}
-
-func waitForInterrupt() {
-	intc := make(chan os.Signal, 1)
-	signal.Notify(intc, os.Interrupt)
-	<-intc
 }
 
 // loadState restores servent state and store from dir when the

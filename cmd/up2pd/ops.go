@@ -1,0 +1,57 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// health is the /healthz payload: enough for an operator (or a
+// readiness probe) to see what the daemon is, who it talks to, and how
+// much it holds, without scraping the full metrics surface.
+type health struct {
+	Status string `json:"status"`
+	Mode   string `json:"mode"`
+	// Peer is this daemon's P2P identity (the transport address).
+	Peer   string `json:"peer"`
+	Uptime string `json:"uptime"`
+	// LivePeers counts known overlay contacts: routing-table entries
+	// for dht (liveness-maintained by eviction), neighbors for
+	// gnutella/superpeer, the one upstream server for
+	// centralized/fasttrack.
+	LivePeers int `json:"live_peers"`
+	// Server is the upstream index server / super-peer, when the mode
+	// has one.
+	Server string `json:"server,omitempty"`
+	// Docs is the local store size: objects shared by a servent,
+	// registrations indexed by an indexserver/superpeer.
+	Docs int `json:"docs"`
+	// DHTRecords is the count of unexpired DHT records this node holds
+	// for the overlay (dht mode only).
+	DHTRecords int `json:"dht_records,omitempty"`
+}
+
+// opsMux mounts the ops surface — /metrics (Prometheus text, or
+// expvar-style JSON with ?format=json) and /healthz — and delegates
+// everything else to app when the mode has a web interface.
+func opsMux(reg *metrics.Registry, healthFn func() health, app http.Handler) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", metrics.Handler(reg))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(healthFn())
+	})
+	if app != nil {
+		mux.Handle("/", app)
+	}
+	return mux
+}
+
+// uptimeSince formats the daemon's age for the health payload.
+func uptimeSince(start time.Time) string {
+	return time.Since(start).Round(time.Second).String()
+}

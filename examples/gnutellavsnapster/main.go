@@ -60,7 +60,7 @@ func workload(proto sim.Protocol) (map[string][]string, map[string]int64, error)
 		return nil, nil, err
 	}
 	for _, q := range searches {
-		c.ResetStats()
+		before := c.Metrics()
 		rs, err := c.SearchFrom(peers/2, comm.ID, query.MustParse(q), p2p.SearchOptions{TTL: 7})
 		if err != nil {
 			return nil, nil, err
@@ -71,7 +71,7 @@ func workload(proto sim.Protocol) (map[string][]string, map[string]int64, error)
 		}
 		sort.Strings(ts)
 		titles[q] = ts
-		msgs[q] = c.Stats().Messages
+		msgs[q] = c.Metrics().Delta(before).Counter("transport.msgs_delivered")
 	}
 	return titles, msgs, nil
 }

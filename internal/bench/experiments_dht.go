@@ -81,7 +81,7 @@ func RunE13() (Table, error) {
 		if _, err := c.PublishRoundRobin(comm.ID, pubCorpus.Objects); err != nil {
 			return err
 		}
-		c.ResetStats()
+		before := c.Metrics()
 		rng := rand.New(rand.NewSource(ScenarioBenchConfig.Seed + 77))
 		results, hopSum, hopN := 0, 0, 0
 		for q := 0; q < queries; q++ {
@@ -102,7 +102,7 @@ func RunE13() (Table, error) {
 				hopN++
 			}
 		}
-		st := c.Stats()
+		st := c.Metrics().Delta(before)
 		meanHops := 0.0
 		if hopN > 0 {
 			meanHops = float64(hopSum) / float64(hopN)
@@ -110,8 +110,8 @@ func RunE13() (Table, error) {
 		t.Rows = append(t.Rows, []string{
 			proto.String(),
 			fmt.Sprintf("%d", peers),
-			fmt.Sprintf("%.1f", float64(st.Messages)/queries),
-			fmt.Sprintf("%.0f", float64(st.Bytes)/queries),
+			fmt.Sprintf("%.1f", float64(st.Counter("transport.msgs_delivered"))/queries),
+			fmt.Sprintf("%.0f", float64(st.Counter("transport.bytes_delivered"))/queries),
 			fmt.Sprintf("%.1f", meanHops),
 			fmt.Sprintf("%.1f", float64(results)/queries),
 		})

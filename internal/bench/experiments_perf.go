@@ -220,7 +220,7 @@ func RunE8() (Table, error) {
 			return o, err
 		}
 		for _, q := range queries {
-			c.ResetStats()
+			before := c.Metrics()
 			rs, err := c.SearchFrom(2, comm.ID, query.MustParse(q), p2p.SearchOptions{TTL: 7})
 			if err != nil {
 				return o, err
@@ -231,7 +231,7 @@ func RunE8() (Table, error) {
 			}
 			sort.Strings(titles)
 			o.titles[q] = titles
-			o.msgs[q] = c.Stats().Messages
+			o.msgs[q] = c.Metrics().Delta(before).Counter("transport.msgs_delivered")
 		}
 		return o, nil
 	}

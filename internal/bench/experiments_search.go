@@ -42,23 +42,23 @@ func RunE1() (Table, error) {
 			}); err != nil {
 				return t, err
 			}
-			c.ResetStats()
+			before := c.Metrics()
 			joined, err := c.DiscoverAndJoinAll("patterns", 8)
 			if err != nil {
 				return t, err
 			}
-			st := c.Stats()
+			msgs := c.Metrics().Delta(before).Counter("transport.msgs_delivered")
 			joiners := n - 1 // creator already joined
-			perJoiner := float64(st.Messages)
+			perJoiner := float64(msgs)
 			if joiners > 0 {
-				perJoiner = float64(st.Messages) / float64(joiners)
+				perJoiner = float64(msgs) / float64(joiners)
 			}
 			t.Rows = append(t.Rows, []string{
 				proto.String(),
 				fmt.Sprintf("%d", n),
 				fmt.Sprintf("%d/%d", joined, n),
 				fmt.Sprintf("%.0f%%", 100*float64(joined)/float64(n)),
-				fmt.Sprintf("%d", st.Messages),
+				fmt.Sprintf("%d", msgs),
 				fmt.Sprintf("%.1f", perJoiner),
 			})
 		}
@@ -234,7 +234,7 @@ func RunE3() (Table, error) {
 		if _, err := c.PublishRoundRobin(comm.ID, pubCorpus.Objects); err != nil {
 			return err
 		}
-		c.ResetStats()
+		before := c.Metrics()
 		rng := rand.New(rand.NewSource(77))
 		results := 0
 		for q := 0; q < queries; q++ {
@@ -245,13 +245,13 @@ func RunE3() (Table, error) {
 			}
 			results += len(rs)
 		}
-		st := c.Stats()
+		st := c.Metrics().Delta(before)
 		t.Rows = append(t.Rows, []string{
 			proto.String(),
 			fmt.Sprintf("%d", peers),
 			fmt.Sprintf("%d", ttl),
-			fmt.Sprintf("%.1f", float64(st.Messages)/queries),
-			fmt.Sprintf("%.0f", float64(st.Bytes)/queries),
+			fmt.Sprintf("%.1f", float64(st.Counter("transport.msgs_delivered"))/queries),
+			fmt.Sprintf("%.0f", float64(st.Counter("transport.bytes_delivered"))/queries),
 			fmt.Sprintf("%.1f", float64(results)/queries),
 		})
 		return nil

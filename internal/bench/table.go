@@ -40,28 +40,22 @@ func (t Table) Format() string {
 			}
 		}
 	}
-	writeRow := func(cells []string) {
-		for i, cell := range cells {
-			if i > 0 {
-				b.WriteString("  ")
-			}
-			b.WriteString(cell)
-			if i < len(widths) {
-				for p := len(cell); p < widths[i]; p++ {
-					b.WriteByte(' ')
-				}
-			}
-		}
-		b.WriteByte('\n')
-	}
-	writeRow(t.Headers)
 	sep := make([]string, len(t.Headers))
 	for i := range sep {
 		sep[i] = strings.Repeat("-", widths[i])
 	}
-	writeRow(sep)
-	for _, row := range t.Rows {
-		writeRow(row)
+	for _, row := range append([][]string{t.Headers, sep}, t.Rows...) {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s", widths[i], cell)
+			} else {
+				b.WriteString(cell)
+			}
+		}
+		b.WriteByte('\n')
 	}
 	for _, n := range t.Notes {
 		fmt.Fprintf(&b, "note: %s\n", n)

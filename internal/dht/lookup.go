@@ -3,6 +3,7 @@ package dht
 import (
 	"encoding/json"
 
+	"repro/internal/errs"
 	"repro/internal/p2p"
 	"repro/internal/transport"
 )
@@ -86,6 +87,7 @@ func (n *Node) lookup(target ID, vq *valueQuery) lookupOutcome {
 			if err := n.sendLookupRPC(c.Peer, reqID, target, vq); err != nil {
 				n.pending.Drop(reqID)
 				state[c.Peer] = stateFailed
+				n.reg.CountError(errs.Wrap("dht.lookup_rpc", err, "dht: lookup rpc failed"))
 				if transport.IsPeerDead(err) {
 					n.table.Remove(c.Peer)
 				}
@@ -107,6 +109,7 @@ func (n *Node) lookup(target ID, vq *valueQuery) lookupOutcome {
 			if err != nil {
 				n.pending.Drop(r.reqID)
 				state[r.contact.Peer] = stateFailed
+				n.reg.CountError(errs.Wrap("dht.lookup_rpc", err, "dht: lookup rpc failed"))
 				continue
 			}
 			var reply findValueReplyPayload // superset of the find-node reply
@@ -146,15 +149,15 @@ func (n *Node) lookup(target ID, vq *valueQuery) lookupOutcome {
 		}
 		sortRecords(out.records)
 	}
-	n.counters.lookups.Add(1)
-	n.counters.rounds.Add(int64(out.rounds))
+	n.mLookups.Inc()
+	n.mRounds.Add(int64(out.rounds))
 	return out
 }
 
 // sendLookupRPC issues the wave's RPC: FIND_VALUE when a value query
 // rides along, FIND_NODE otherwise.
 func (n *Node) sendLookupRPC(to transport.PeerID, reqID uint64, target ID, vq *valueQuery) error {
-	n.counters.contacted.Add(1)
+	n.mContacted.Inc()
 	if vq != nil {
 		return n.ep.Send(transport.Message{
 			To:   to,

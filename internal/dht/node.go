@@ -4,10 +4,10 @@ import (
 	"encoding/json"
 	"sort"
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/dsim"
 	"repro/internal/index"
+	"repro/internal/metrics"
 	"repro/internal/p2p"
 	"repro/internal/query"
 	"repro/internal/transport"
@@ -37,11 +37,14 @@ type Node struct {
 	attach p2p.AttachmentProvider
 	closed bool
 
-	counters struct {
-		lookups   atomic.Int64
-		rounds    atomic.Int64
-		contacted atomic.Int64
-	}
+	// Telemetry handles, resolved by SetMetrics (default: a private
+	// registry, preserving per-node semantics for LookupCounters).
+	reg        *metrics.Registry
+	nm         *p2p.NodeMetrics
+	mLookups   *metrics.Counter
+	mRounds    *metrics.Counter
+	mContacted *metrics.Counter
+	mFanout    *metrics.Counter
 }
 
 var _ p2p.Network = (*Node)(nil)
@@ -63,8 +66,26 @@ func NewNode(ep transport.Endpoint, store *index.Store, cfg Config) *Node {
 		pending: p2p.NewPendingTable(),
 		clk:     dsim.Wall,
 	}
+	n.SetMetrics(metrics.NewRegistry())
 	ep.SetHandler(n.handle)
 	return n
+}
+
+// SetMetrics points the node's telemetry at reg: the dht.* lookup and
+// replication counters, the protocol-labeled p2p.* families (label
+// "dht"), and the record store's expiry counter. Like SetClock, call
+// before traffic starts. The default is a private registry, so
+// LookupCounters stays per-node unless a shared registry is injected.
+func (n *Node) SetMetrics(reg *metrics.Registry) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.reg = reg
+	n.nm = p2p.NewNodeMetrics(reg, "dht")
+	n.mLookups = reg.Counter("dht.lookups")
+	n.mRounds = reg.Counter("dht.lookup_rounds")
+	n.mContacted = reg.Counter("dht.peers_contacted")
+	n.mFanout = reg.Counter("dht.store_fanout")
+	n.records.setExpiredCounter(reg.Counter("dht.records_expired"))
 }
 
 // PeerID implements p2p.Network.
@@ -96,12 +117,19 @@ func (n *Node) TableLen() int { return n.table.Len() }
 func (n *Node) RecordCount() int { return n.records.len(n.clk.Now()) }
 
 // LookupCounters returns cumulative lookup telemetry: lookups run,
-// total rounds (hops), and total peers contacted. Tests assert
-// convergence on it; the experiments read hop counts off Result.Hops
-// instead, and the ROADMAP metrics item is the plan for plumbing
-// these into a real registry.
+// total rounds (hops), and total peers contacted.
+//
+// Deprecated: read Metrics() instead — counters dht.lookups,
+// dht.lookup_rounds, dht.peers_contacted. This view stays one release.
 func (n *Node) LookupCounters() (lookups, rounds, contacted int64) {
-	return n.counters.lookups.Load(), n.counters.rounds.Load(), n.counters.contacted.Load()
+	return n.mLookups.Value(), n.mRounds.Value(), n.mContacted.Value()
+}
+
+// Metrics returns the registry this node records into.
+func (n *Node) Metrics() *metrics.Registry {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.reg
 }
 
 // Bootstrap seeds the routing table with the given peers and runs the
@@ -125,6 +153,7 @@ func (n *Node) Publish(doc *index.Document) error {
 	if err := n.store.Put(doc); err != nil {
 		return err
 	}
+	n.nm.Publishes.Inc()
 	return n.announce([]*index.Document{doc})
 }
 
@@ -138,6 +167,7 @@ func (n *Node) PublishBatch(docs []*index.Document) error {
 	if err := n.store.PutBatch(docs); err != nil {
 		return err
 	}
+	n.nm.Publishes.Add(int64(len(docs)))
 	return n.announce(docs)
 }
 
@@ -194,6 +224,7 @@ func (n *Node) storeRecords(key ID, recs []Record) {
 		}
 		payload := marshal(storePayload{Key: key, Records: recs[start:end]})
 		for _, t := range targets {
+			n.mFanout.Inc()
 			if err := n.ep.Send(transport.Message{To: t.Peer, Type: MsgStore, Payload: payload}); err != nil && transport.IsPeerDead(err) {
 				n.table.Remove(t.Peer)
 			}
@@ -236,11 +267,13 @@ func (n *Node) unstore(key ID, id index.DocID) {
 // gracefully instead of erroring.
 func (n *Node) Search(communityID string, f query.Filter, opts p2p.SearchOptions) ([]p2p.Result, error) {
 	if n.isClosed() {
+		n.nm.CountError(p2p.ErrClosed)
 		return nil, p2p.ErrClosed
 	}
 	if f == nil {
 		f = query.MatchAll{}
 	}
+	start := n.clk.Now()
 	key := KeyForCommunity(communityID)
 	out := n.lookup(key, &valueQuery{communityID: communityID, filter: f.String(), limit: opts.Limit})
 	merged := make(map[recordKey]Record, len(out.records))
@@ -278,6 +311,7 @@ func (n *Node) Search(communityID string, f query.Filter, opts p2p.SearchOptions
 			Hops:        out.rounds,
 		}
 	}
+	n.nm.ObserveSearch(n.clk, start, len(results))
 	return results, nil
 }
 
@@ -308,7 +342,13 @@ func (n *Node) Retrieve(id index.DocID, from transport.PeerID) (*index.Document,
 	if from == n.PeerID() {
 		return n.store.Get(id)
 	}
-	return p2p.RetrieveFrom(n.clk, n.ep, n.pending, id, from, 0)
+	doc, err := p2p.RetrieveFrom(n.clk, n.ep, n.pending, id, from, 0)
+	if err != nil {
+		n.nm.CountError(err)
+		return nil, err
+	}
+	n.nm.Fetches.Inc()
+	return doc, nil
 }
 
 // RetrieveAttachment implements p2p.Network.

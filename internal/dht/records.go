@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/index"
+	"repro/internal/metrics"
 	"repro/internal/query"
 	"repro/internal/transport"
 )
@@ -20,6 +21,9 @@ type recordStore struct {
 	ttl time.Duration
 	// byKey maps key -> (DocID, Provider) -> entry.
 	byKey map[ID]map[recordKey]recordEntry
+	// expired counts lazily pruned entries (dht.records_expired);
+	// installed by the node's SetMetrics before traffic starts.
+	expired *metrics.Counter
 }
 
 type recordKey struct {
@@ -33,7 +37,18 @@ type recordEntry struct {
 }
 
 func newRecordStore(ttl time.Duration) *recordStore {
-	return &recordStore{ttl: ttl, byKey: make(map[ID]map[recordKey]recordEntry)}
+	return &recordStore{
+		ttl:     ttl,
+		byKey:   make(map[ID]map[recordKey]recordEntry),
+		expired: metrics.Discard().Counter("dht.records_expired"),
+	}
+}
+
+// setExpiredCounter installs the expiry counter handle.
+func (rs *recordStore) setExpiredCounter(c *metrics.Counter) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	rs.expired = c
 }
 
 // put upserts records under key, (re)starting their TTL at now.
@@ -80,6 +95,7 @@ func (rs *recordStore) get(key ID, now time.Time, communityID string, f query.Fi
 	for rk, e := range m {
 		if !e.expires.After(now) {
 			delete(m, rk)
+			rs.expired.Inc()
 			continue
 		}
 		if communityID != "" && e.rec.CommunityID != communityID {
@@ -110,6 +126,7 @@ func (rs *recordStore) len(now time.Time) int {
 		for rk, e := range m {
 			if !e.expires.After(now) {
 				delete(m, rk)
+				rs.expired.Inc()
 				continue
 			}
 			n++

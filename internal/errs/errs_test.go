@@ -1,0 +1,93 @@
+package errs
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestValidCode(t *testing.T) {
+	valid := []string{
+		"transport.unknown_peer",
+		"p2p.timeout",
+		"dht.lookup_rpc",
+		"index.not_found",
+		"a.b.c",
+		"wal.segment_v2",
+	}
+	for _, c := range valid {
+		if !ValidCode(c) {
+			t.Errorf("ValidCode(%q) = false, want true", c)
+		}
+	}
+	invalid := []string{
+		"",
+		"transport",       // one segment
+		"transport.",      // empty tail segment
+		".unknown_peer",   // empty head segment
+		"transport..peer", // empty middle segment
+		"Transport.peer",  // uppercase
+		"transport.1peer", // segment starts with a digit
+		"transport._peer", // segment starts with an underscore
+		"transport peer",  // space
+		"transport:peer",  // colon is the message convention, not the code
+	}
+	for _, c := range invalid {
+		if ValidCode(c) {
+			t.Errorf("ValidCode(%q) = true, want false", c)
+		}
+	}
+}
+
+func TestNewPanicsOnInvalidCode(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with an invalid code did not panic")
+		}
+	}()
+	New("notacode", "boom")
+}
+
+func TestSentinelIdentity(t *testing.T) {
+	sentinel := New("transport.unknown_peer", "transport: unknown peer")
+	wrapped := fmt.Errorf("%w: peer-42", sentinel)
+	if !errors.Is(wrapped, sentinel) {
+		t.Error("errors.Is through fmt.Errorf(%%w) broken for coded sentinels")
+	}
+	if got := Code(wrapped); got != "transport.unknown_peer" {
+		t.Errorf("Code(wrapped sentinel) = %q, want transport.unknown_peer", got)
+	}
+	if sentinel.Error() != "transport: unknown peer" {
+		t.Errorf("Error() = %q, want the plain message", sentinel.Error())
+	}
+}
+
+func TestWrapChain(t *testing.T) {
+	inner := New("transport.closed", "transport: endpoint closed")
+	mid := fmt.Errorf("send to n3: %w", inner)
+	outer := Wrap("dht.lookup_rpc", mid, "dht: lookup rpc failed")
+
+	if !errors.Is(outer, inner) {
+		t.Error("cause not reachable through Wrap + fmt.Errorf chain")
+	}
+	// Outermost code wins.
+	if got := Code(outer); got != "dht.lookup_rpc" {
+		t.Errorf("Code(outer) = %q, want dht.lookup_rpc", got)
+	}
+	if got := Code(mid); got != "transport.closed" {
+		t.Errorf("Code(mid) = %q, want transport.closed", got)
+	}
+	want := "dht: lookup rpc failed: send to n3: transport: endpoint closed"
+	if outer.Error() != want {
+		t.Errorf("Error() = %q, want %q", outer.Error(), want)
+	}
+}
+
+func TestCodeOnUncodedError(t *testing.T) {
+	if got := Code(errors.New("plain")); got != "" {
+		t.Errorf("Code(plain error) = %q, want empty", got)
+	}
+	if got := Code(nil); got != "" {
+		t.Errorf("Code(nil) = %q, want empty", got)
+	}
+}

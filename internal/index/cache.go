@@ -3,6 +3,8 @@ package index
 import (
 	"container/list"
 	"sync"
+
+	"repro/internal/metrics"
 )
 
 // resultCache is one shard's LRU of materialized query results. An
@@ -17,12 +19,14 @@ import (
 // replaced document from ever being served. Callers clone on the way
 // out (Store.Search), preserving the store's defensive-copy contract.
 type resultCache struct {
-	mu     sync.Mutex
-	cap    int
-	ll     *list.List // front = most recently used
-	m      map[string]*list.Element
-	hits   uint64
-	misses uint64
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+	// hit/miss accounting lives in the owning store's metrics registry;
+	// the handles are resolved once at construction.
+	hits   *metrics.Counter
+	misses *metrics.Counter
 }
 
 type cacheEntry struct {
@@ -31,11 +35,13 @@ type cacheEntry struct {
 	docs []*Document
 }
 
-func newResultCache(capacity int) *resultCache {
+func newResultCache(capacity int, hits, misses *metrics.Counter) *resultCache {
 	return &resultCache{
-		cap: capacity,
-		ll:  list.New(),
-		m:   make(map[string]*list.Element, capacity),
+		cap:    capacity,
+		ll:     list.New(),
+		m:      make(map[string]*list.Element, capacity),
+		hits:   hits,
+		misses: misses,
 	}
 }
 
@@ -46,18 +52,18 @@ func (c *resultCache) get(key string, gen uint64) ([]*Document, bool) {
 	defer c.mu.Unlock()
 	el, ok := c.m[key]
 	if !ok {
-		c.misses++
+		c.misses.Inc()
 		return nil, false
 	}
 	e := el.Value.(*cacheEntry)
 	if e.gen != gen {
 		c.ll.Remove(el)
 		delete(c.m, key)
-		c.misses++
+		c.misses.Inc()
 		return nil, false
 	}
 	c.ll.MoveToFront(el)
-	c.hits++
+	c.hits.Inc()
 	return e.docs, true
 }
 
@@ -79,13 +85,6 @@ func (c *resultCache) put(key string, gen uint64, docs []*Document) {
 		c.ll.Remove(el)
 		delete(c.m, el.Value.(*cacheEntry).key)
 	}
-}
-
-// stats returns cumulative hit/miss counts.
-func (c *resultCache) stats() (hits, misses uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
 }
 
 // entries returns the live entry count (tests only).

@@ -20,13 +20,14 @@
 package index
 
 import (
-	"errors"
 	"fmt"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
 
+	"repro/internal/errs"
+	"repro/internal/metrics"
 	"repro/internal/query"
 )
 
@@ -60,10 +61,13 @@ func (d *Document) clone() *Document {
 	return &cp
 }
 
-// Common errors.
+// Common errors, carrying structured codes ("index.<name>") for the
+// metrics registry's error counter family. Identity semantics are
+// unchanged: errors.Is against the sentinels still holds through
+// fmt.Errorf("%w: ...") wrapping.
 var (
-	ErrNotFound = errors.New("index: document not found")
-	ErrNoID     = errors.New("index: document has no ID")
+	ErrNotFound error = errs.New("index.not_found", "index: document not found")
+	ErrNoID     error = errs.New("index.no_id", "index: document has no ID")
 )
 
 // Store tuning defaults.
@@ -89,6 +93,7 @@ type Option func(*storeConfig)
 type storeConfig struct {
 	shards    int
 	cacheSize int
+	metrics   *metrics.Registry
 }
 
 // WithShards sets the shard count (rounded up to a power of two,
@@ -104,11 +109,23 @@ func WithCacheSize(n int) Option {
 	return func(c *storeConfig) { c.cacheSize = n }
 }
 
+// WithMetrics records the store's telemetry (cache hits/misses,
+// occupancy gauges) into reg. Default is a private registry; several
+// stores sharing one registry aggregate: the index.docs and
+// index.postings gauges sum across stores, index.shard_max_docs takes
+// the max.
+func WithMetrics(reg *metrics.Registry) Option {
+	return func(c *storeConfig) { c.metrics = reg }
+}
+
 // Store is a thread-safe sharded metadata store with an inverted
 // index. See the package comment for the sharding design.
 type Store struct {
 	shards []*shard
 	mask   uint32
+	reg    *metrics.Registry
+	hits   *metrics.Counter
+	misses *metrics.Counter
 	// dir routes DocID-keyed operations (Get/Has/Delete) to the shard
 	// holding the document, so they need not know the community.
 	// DocIDs are content-addressed over (community, content), so an ID
@@ -149,7 +166,17 @@ func NewStore(opts ...Option) *Store {
 		o(&cfg)
 	}
 	n := ceilPow2(cfg.shards)
-	s := &Store{shards: make([]*shard, n), mask: uint32(n - 1)}
+	reg := cfg.metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	s := &Store{
+		shards: make([]*shard, n),
+		mask:   uint32(n - 1),
+		reg:    reg,
+		hits:   reg.Counter("index.cache_hits"),
+		misses: reg.Counter("index.cache_misses"),
+	}
 	for i := range s.shards {
 		sh := &shard{
 			docs:        make(map[DocID]*Document),
@@ -157,11 +184,31 @@ func NewStore(opts ...Option) *Store {
 			inverted:    make(map[string]map[string]map[DocID]struct{}),
 		}
 		if cfg.cacheSize > 0 {
-			sh.cache = newResultCache(cfg.cacheSize)
+			sh.cache = newResultCache(cfg.cacheSize, s.hits, s.misses)
 		}
 		s.shards[i] = sh
 	}
+	reg.GaugeFunc("index.docs", func() int64 { return int64(s.Len()) })
+	reg.GaugeFunc("index.postings", func() int64 { return int64(s.Postings()) })
+	reg.GaugeFuncMax("index.shard_max_docs", func() int64 { return s.maxShardDocs() })
 	return s
+}
+
+// Metrics returns the registry this store records into.
+func (s *Store) Metrics() *metrics.Registry { return s.reg }
+
+// maxShardDocs returns the document count of the fullest shard — the
+// occupancy-skew signal behind the index.shard_max_docs gauge.
+func (s *Store) maxShardDocs() int64 {
+	var max int64
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		if n := int64(len(sh.docs)); n > max {
+			max = n
+		}
+		sh.mu.RUnlock()
+	}
+	return max
 }
 
 // NumShards reports the shard count (for experiments and diagnostics).
@@ -406,15 +453,11 @@ func (s *Store) Postings() int {
 
 // CacheStats reports cumulative query-cache hits and misses across all
 // shards (zero/zero when caching is disabled).
+//
+// Deprecated: read Metrics() instead — counters index.cache_hits and
+// index.cache_misses. This view stays one release.
 func (s *Store) CacheStats() (hits, misses uint64) {
-	for _, sh := range s.shards {
-		if sh.cache != nil {
-			h, m := sh.cache.stats()
-			hits += h
-			misses += m
-		}
-	}
-	return hits, misses
+	return uint64(s.hits.Value()), uint64(s.misses.Value())
 }
 
 // Search returns documents in the community whose indexed attributes

@@ -1,0 +1,161 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// WriteJSON writes the snapshot as one flat, expvar-compatible JSON
+// object: `{"name": value, ...}` with dotted metric names, family
+// counters keyed "name{label=value}", and histograms as objects with
+// count/sum/buckets. Keys are emitted sorted, so output is
+// deterministic and diffable.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	type kv struct {
+		key string
+		val any
+	}
+	var items []kv
+	for name, v := range s.Counters {
+		items = append(items, kv{name, v})
+	}
+	for name, v := range s.Gauges {
+		items = append(items, kv{name, v})
+	}
+	for name, m := range s.Labeled {
+		label := s.LabelNames[name]
+		for lv, v := range m {
+			items = append(items, kv{fmt.Sprintf("%s{%s=%s}", name, label, lv), v})
+		}
+	}
+	for name, h := range s.Histograms {
+		items = append(items, kv{name, h})
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].key < items[j].key })
+	if _, err := io.WriteString(w, "{"); err != nil {
+		return err
+	}
+	for i, it := range items {
+		if i > 0 {
+			if _, err := io.WriteString(w, ",\n"); err != nil {
+				return err
+			}
+		}
+		kb, err := json.Marshal(it.key)
+		if err != nil {
+			return err
+		}
+		vb, err := json.Marshal(it.val)
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s: %s", kb, vb); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "}\n")
+	return err
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text
+// exposition format. Names are sanitized ("transport.msgs_delivered"
+// -> "up2p_transport_msgs_delivered"); histograms emit cumulative
+// _bucket series with `le` bounds plus _sum and _count. Values are
+// raw (latencies stay in nanoseconds; the metric names carry the
+// unit).
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	for _, name := range s.Names() {
+		pn := promName(name)
+		if v, ok := s.Counters[name]; ok {
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, v); err != nil {
+				return err
+			}
+		}
+		if v, ok := s.Gauges[name]; ok {
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, v); err != nil {
+				return err
+			}
+		}
+		if m, ok := s.Labeled[name]; ok {
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", pn); err != nil {
+				return err
+			}
+			label := promLabel(s.LabelNames[name])
+			keys := make([]string, 0, len(m))
+			for k := range m {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				if _, err := fmt.Fprintf(w, "%s{%s=%q} %d\n", pn, label, k, m[k]); err != nil {
+					return err
+				}
+			}
+		}
+		if h, ok := s.Histograms[name]; ok {
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+				return err
+			}
+			cum := int64(0)
+			for _, b := range h.Buckets {
+				cum += b.Count
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", pn, b.UpperBound, cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+				pn, h.Count, pn, h.Sum, pn, h.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// promName maps a dotted metric name onto the Prometheus namespace.
+func promName(name string) string { return "up2p_" + sanitize(name) }
+
+// promLabel sanitizes a label name (no namespace prefix).
+func promLabel(label string) string {
+	if label == "" {
+		return "label"
+	}
+	return sanitize(label)
+}
+
+// sanitize replaces every character outside [a-zA-Z0-9_] with '_'.
+func sanitize(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' {
+			b.WriteByte(c)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// Handler serves the registry over HTTP: Prometheus text by default,
+// the expvar-compatible JSON object when the request asks for JSON
+// (?format=json, or an Accept header naming application/json).
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		snap := r.Snapshot()
+		wantJSON := req.URL.Query().Get("format") == "json" ||
+			strings.Contains(req.Header.Get("Accept"), "application/json")
+		if wantJSON {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			_ = snap.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = snap.WritePrometheus(w)
+	})
+}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/dsim"
 	"repro/internal/index"
+	"repro/internal/metrics"
 	"repro/internal/query"
 	"repro/internal/transport"
 )
@@ -204,6 +205,11 @@ type CentralizedClient struct {
 	store   *index.Store
 	pending *PendingTable
 	clk     dsim.Clock
+	nm      *NodeMetrics
+	// metricsProto labels this client's telemetry; "centralized" here,
+	// overridden to "fasttrack" by NewFastTrackLeaf (a leaf is this
+	// client pointed at a super-peer).
+	metricsProto string
 
 	mu     sync.RWMutex
 	server transport.PeerID // mutable: Rehome repoints it after failover
@@ -217,14 +223,31 @@ var _ Network = (*CentralizedClient)(nil)
 // index server's peer ID. store holds the peer's shared objects.
 func NewCentralizedClient(ep transport.Endpoint, server transport.PeerID, store *index.Store) *CentralizedClient {
 	c := &CentralizedClient{
-		ep:      ep,
-		server:  server,
-		store:   store,
-		pending: NewPendingTable(),
-		clk:     dsim.Wall,
+		ep:           ep,
+		server:       server,
+		store:        store,
+		pending:      NewPendingTable(),
+		clk:          dsim.Wall,
+		metricsProto: "centralized",
 	}
+	c.nm = NewNodeMetrics(metrics.Discard(), c.metricsProto)
 	ep.SetHandler(c.handle)
 	return c
+}
+
+// SetMetrics points the client's telemetry at reg, labeled with the
+// client's protocol. Like SetClock, call before traffic starts;
+// metrics are discarded until then.
+func (c *CentralizedClient) SetMetrics(reg *metrics.Registry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nm = NewNodeMetrics(reg, c.metricsProto)
+}
+
+func (c *CentralizedClient) nodeMetrics() *NodeMetrics {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.nm
 }
 
 // PeerID implements Network.
@@ -258,6 +281,7 @@ func (c *CentralizedClient) Publish(doc *index.Document) error {
 	if err := c.store.Put(doc); err != nil {
 		return err
 	}
+	c.nodeMetrics().Publishes.Inc()
 	return c.ep.Send(transport.Message{
 		To:      c.Server(),
 		Type:    MsgRegister,
@@ -276,6 +300,7 @@ func (c *CentralizedClient) PublishBatch(docs []*index.Document) error {
 	if err := c.store.PutBatch(docs); err != nil {
 		return err
 	}
+	c.nodeMetrics().Publishes.Add(int64(len(docs)))
 	return c.registerBatch(c.Server(), docs)
 }
 
@@ -336,6 +361,8 @@ func (c *CentralizedClient) Search(communityID string, f query.Filter, opts Sear
 	if f == nil {
 		f = query.MatchAll{}
 	}
+	nm := c.nodeMetrics()
+	start := c.clk.Now()
 	reqID, ch := c.pending.Create()
 	err := c.ep.Send(transport.Message{
 		To:   c.Server(),
@@ -349,17 +376,20 @@ func (c *CentralizedClient) Search(communityID string, f query.Filter, opts Sear
 	})
 	if err != nil {
 		c.pending.Drop(reqID)
+		nm.CountError(err)
 		return nil, fmt.Errorf("p2p: search: %w", err)
 	}
 	raw, err := Await(c.clk, c.ep.Synchronous(), ch, opts.Timeout)
 	if err != nil {
 		c.pending.Drop(reqID)
+		nm.CountError(err)
 		return nil, err
 	}
 	var hit searchHitPayload
 	if err := json.Unmarshal(raw, &hit); err != nil {
 		return nil, fmt.Errorf("p2p: search reply: %w", err)
 	}
+	nm.ObserveSearch(c.clk, start, len(hit.Results))
 	return hit.Results, nil
 }
 
@@ -368,7 +398,14 @@ func (c *CentralizedClient) Retrieve(id index.DocID, from transport.PeerID) (*in
 	if from == c.PeerID() {
 		return c.store.Get(id)
 	}
-	return RetrieveFrom(c.clk, c.ep, c.pending, id, from, 0)
+	nm := c.nodeMetrics()
+	doc, err := RetrieveFrom(c.clk, c.ep, c.pending, id, from, 0)
+	if err != nil {
+		nm.CountError(err)
+		return nil, err
+	}
+	nm.Fetches.Inc()
+	return doc, nil
 }
 
 // RetrieveAttachment implements Network.

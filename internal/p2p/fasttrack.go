@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/index"
+	"repro/internal/metrics"
 	"repro/internal/query"
 	"repro/internal/transport"
 )
@@ -80,6 +81,13 @@ func (s *SuperPeer) RemoveNeighbor(peer transport.PeerID) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.neighbors, peer)
+}
+
+// Neighbors returns the current super-peer overlay links, sorted.
+func (s *SuperPeer) Neighbors() []transport.PeerID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return sortedPeers(s.neighbors)
 }
 
 // Len returns the number of distinct documents indexed for leaves.
@@ -361,5 +369,10 @@ var _ Network = (*FastTrackLeaf)(nil)
 
 // NewFastTrackLeaf attaches a leaf to its super-peer.
 func NewFastTrackLeaf(ep transport.Endpoint, super transport.PeerID, store *index.Store) *FastTrackLeaf {
-	return &FastTrackLeaf{CentralizedClient: NewCentralizedClient(ep, super, store)}
+	c := NewCentralizedClient(ep, super, store)
+	// A leaf is a centralized client pointed at a super-peer; its
+	// telemetry is labeled as fasttrack traffic.
+	c.metricsProto = "fasttrack"
+	c.nm = NewNodeMetrics(metrics.Discard(), c.metricsProto)
+	return &FastTrackLeaf{CentralizedClient: c}
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/dsim"
 	"repro/internal/index"
+	"repro/internal/metrics"
 	"repro/internal/query"
 	"repro/internal/transport"
 )
@@ -21,6 +22,7 @@ type GnutellaNode struct {
 	pending *PendingTable
 	guids   *guidSource
 	clk     dsim.Clock
+	nm      *NodeMetrics
 
 	mu        sync.RWMutex
 	neighbors map[transport.PeerID]struct{}
@@ -78,8 +80,24 @@ func NewGnutellaNode(ep transport.Endpoint, store *index.Store) *GnutellaNode {
 		seen:      make(map[uint64]transport.PeerID),
 		collect:   make(map[uint64]*hitCollector),
 	}
+	g.nm = NewNodeMetrics(metrics.Discard(), "gnutella")
 	ep.SetHandler(g.handle)
 	return g
+}
+
+// SetMetrics points the node's telemetry at reg, labeled "gnutella".
+// Like SetClock, call before traffic starts; metrics are discarded
+// until then.
+func (g *GnutellaNode) SetMetrics(reg *metrics.Registry) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.nm = NewNodeMetrics(reg, "gnutella")
+}
+
+func (g *GnutellaNode) nodeMetrics() *NodeMetrics {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.nm
 }
 
 // SetClock installs the clock that paces this node's timeouts (default
@@ -127,13 +145,21 @@ func (g *GnutellaNode) SetAttachmentProvider(p AttachmentProvider) {
 // Publish implements Network: in Gnutella metadata stays local; the
 // object becomes discoverable because queries reach this peer.
 func (g *GnutellaNode) Publish(doc *index.Document) error {
-	return g.store.Put(doc)
+	if err := g.store.Put(doc); err != nil {
+		return err
+	}
+	g.nodeMetrics().Publishes.Inc()
+	return nil
 }
 
 // PublishBatch implements Network: with no registration protocol, a
 // batch is purely a local store batch (one shard lock round).
 func (g *GnutellaNode) PublishBatch(docs []*index.Document) error {
-	return g.store.PutBatch(docs)
+	if err := g.store.PutBatch(docs); err != nil {
+		return err
+	}
+	g.nodeMetrics().Publishes.Add(int64(len(docs)))
+	return nil
 }
 
 // Unpublish implements Network.
@@ -154,11 +180,14 @@ func (g *GnutellaNode) Search(communityID string, f query.Filter, opts SearchOpt
 	if ttl <= 0 {
 		ttl = DefaultTTL
 	}
+	nm := g.nodeMetrics()
+	start := g.clk.Now()
 	guid := g.guids.next()
 	col := &hitCollector{done: make(chan struct{}), limit: opts.Limit}
 	g.mu.Lock()
 	if g.closed {
 		g.mu.Unlock()
+		nm.CountError(ErrClosed)
 		return nil, ErrClosed
 	}
 	g.collect[guid] = col
@@ -191,13 +220,17 @@ func (g *GnutellaNode) Search(communityID string, f query.Filter, opts SearchOpt
 		_ = g.ep.Send(transport.Message{To: n, Type: MsgQuery, Payload: payload})
 	}
 	if g.ep.Synchronous() {
-		return col.snapshot(opts.Limit), nil
+		out := col.snapshot(opts.Limit)
+		nm.ObserveSearch(g.clk, start, len(out))
+		return out, nil
 	}
 	select {
 	case <-col.done:
 	case <-g.clk.After(timeoutOr(opts.Timeout)):
 	}
-	return col.snapshot(opts.Limit), nil
+	out := col.snapshot(opts.Limit)
+	nm.ObserveSearch(g.clk, start, len(out))
+	return out, nil
 }
 
 // Retrieve implements Network: direct download from the provider, as
@@ -206,7 +239,14 @@ func (g *GnutellaNode) Retrieve(id index.DocID, from transport.PeerID) (*index.D
 	if from == g.PeerID() {
 		return g.store.Get(id)
 	}
-	return RetrieveFrom(g.clk, g.ep, g.pending, id, from, 0)
+	nm := g.nodeMetrics()
+	doc, err := RetrieveFrom(g.clk, g.ep, g.pending, id, from, 0)
+	if err != nil {
+		nm.CountError(err)
+		return nil, err
+	}
+	nm.Fetches.Inc()
+	return doc, nil
 }
 
 // RetrieveAttachment implements Network.

@@ -23,7 +23,6 @@ package p2p
 
 import (
 	"encoding/json"
-	"errors"
 	"fmt"
 	"hash/fnv"
 	"sort"
@@ -32,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/dsim"
+	"repro/internal/errs"
 	"repro/internal/index"
 	"repro/internal/query"
 	"repro/internal/transport"
@@ -117,11 +117,14 @@ type Network interface {
 	Close() error
 }
 
-// Common errors.
+// Common errors, carrying structured codes ("p2p.<name>") for the
+// metrics registry's error counter family. Identity semantics are
+// unchanged: errors.Is against the sentinels still holds through
+// fmt.Errorf("%w: ...") wrapping.
 var (
-	ErrTimeout     = errors.New("p2p: timed out awaiting response")
-	ErrNotProvided = errors.New("p2p: peer does not provide the requested item")
-	ErrClosed      = errors.New("p2p: node closed")
+	ErrTimeout     error = errs.New("p2p.timeout", "p2p: timed out awaiting response")
+	ErrNotProvided error = errs.New("p2p.not_provided", "p2p: peer does not provide the requested item")
+	ErrClosed      error = errs.New("p2p.closed", "p2p: node closed")
 )
 
 // --- wire payloads ---

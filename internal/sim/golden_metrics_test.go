@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// TestGoldenTraceMetricsInert is the determinism guard for the
+// telemetry registry: running the fully loaded golden scenario with a
+// live shared registry and with the no-op Discard registry must
+// produce bit-identical message traces on every protocol. Recording a
+// metric must never influence delivery order, message content, or loss
+// decisions.
+func TestGoldenTraceMetricsInert(t *testing.T) {
+	for _, proto := range []Protocol{Centralized, Gnutella, FastTrack, DHT} {
+		t.Run(proto.String(), func(t *testing.T) {
+			live := goldenConfig(proto, 42)
+			live.Cluster.Metrics = metrics.NewRegistry()
+			r1, err := RunScenario(live)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			noop := goldenConfig(proto, 42)
+			noop.Cluster.Metrics = metrics.Discard()
+			r2, err := RunScenario(noop)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if r1.TraceLen == 0 {
+				t.Fatal("empty trace")
+			}
+			if r1.TraceLen != r2.TraceLen {
+				t.Fatalf("trace lengths differ with metrics on/off: %d vs %d", r1.TraceLen, r2.TraceLen)
+			}
+			if r1.TraceHash != r2.TraceHash {
+				t.Fatalf("trace hashes differ with metrics on/off: %x vs %x", r1.TraceHash, r2.TraceHash)
+			}
+
+			// The live registry must actually have recorded the run.
+			snap := live.Cluster.Metrics.Snapshot()
+			if got := snap.Counter("transport.msgs_delivered"); got != r1.Messages {
+				t.Errorf("registry msgs_delivered = %d, want %d", got, r1.Messages)
+			}
+			if got := snap.Counter("transport.msgs_dropped"); got != r1.Dropped {
+				t.Errorf("registry msgs_dropped = %d, want %d", got, r1.Dropped)
+			}
+			if got := snap.Label("p2p.searches", proto.String()); got == 0 {
+				t.Errorf("no %s searches recorded in the shared registry", proto)
+			}
+			// The discard run must have recorded nothing — but the driver
+			// still counted queries off the trace-independent path.
+			if r2.Queries == 0 {
+				t.Error("discard run reported zero queries")
+			}
+			if n := len(metrics.Discard().Snapshot().Counters); n != 0 {
+				t.Errorf("discard registry accumulated %d counters", n)
+			}
+		})
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/dsim"
 	"repro/internal/index"
+	"repro/internal/metrics"
 	"repro/internal/p2p"
 	"repro/internal/query"
 )
@@ -175,6 +176,11 @@ type scenario struct {
 	nextObj int64
 	res     *ScenarioResult
 	err     error
+	// msgs/dropped are registry handles resolved once at setup;
+	// per-query accounting reads them before and after a search instead
+	// of snapshotting the whole registry.
+	msgs    *metrics.Counter
+	dropped *metrics.Counter
 }
 
 // queryTemplates are the workload's filter mix. The first is the
@@ -225,6 +231,8 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 		end:     clk.Now().Add(cfg.Duration),
 		truth:   make(map[index.DocID]*docTruth),
 		res:     &ScenarioResult{Protocol: cfg.Cluster.Protocol.String()},
+		msgs:    cluster.Registry().Counter("transport.msgs_delivered"),
+		dropped: cluster.Registry().Counter("transport.msgs_dropped"),
 	}
 	if err := s.bootstrap(); err != nil {
 		return nil, err
@@ -234,9 +242,8 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	if s.err != nil {
 		return nil, s.err
 	}
-	st := cluster.Stats()
-	s.res.Messages = st.Messages
-	s.res.Dropped = st.Dropped
+	s.res.Messages = s.msgs.Value()
+	s.res.Dropped = s.dropped.Value()
 	s.res.TraceHash = cluster.Net.TraceHash()
 	s.res.TraceLen = cluster.Net.TraceLen()
 	s.res.FinalPeers = len(cluster.LivePeers())
@@ -378,13 +385,13 @@ func (s *scenario) runQuery(filter string) {
 	f := query.MustParse(filter)
 	want := s.expected(f)
 
-	before := s.cluster.Stats().Messages
+	before := s.msgs.Value()
 	s.cluster.Net.ResetPath()
 	rs, err := s.cluster.SearchFrom(from, s.comm.ID, f, p2p.SearchOptions{TTL: s.cfg.QueryTTL})
 	sample := QuerySample{
 		At:       s.clk.Now().Sub(s.start),
 		Latency:  s.cluster.Net.MaxPathLatency(),
-		Messages: s.cluster.Stats().Messages - before,
+		Messages: s.msgs.Value() - before,
 		Results:  len(rs),
 	}
 	found := 0

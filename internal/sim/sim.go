@@ -14,6 +14,7 @@ import (
 	"repro/internal/dht"
 	"repro/internal/dsim"
 	"repro/internal/index"
+	"repro/internal/metrics"
 	"repro/internal/p2p"
 	"repro/internal/query"
 	"repro/internal/transport"
@@ -89,6 +90,11 @@ type Config struct {
 	// Trace enables message-trace hashing on the network (golden-trace
 	// determinism tests).
 	Trace bool
+	// Metrics is the registry the whole cluster records into — the
+	// network, every peer's protocol node, and every store share it, so
+	// one snapshot covers the deployment. Nil means a fresh private
+	// registry; pass metrics.Discard() to turn telemetry off.
+	Metrics *metrics.Registry
 }
 
 // Cluster is a running multi-peer deployment.
@@ -112,6 +118,7 @@ type Cluster struct {
 	alive      []bool
 	superAlive []bool
 	rng        *rand.Rand
+	reg        *metrics.Registry
 }
 
 // NewCluster builds and wires a cluster.
@@ -122,7 +129,11 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if cfg.Degree <= 0 {
 		cfg.Degree = 4
 	}
-	opts := []transport.MemOption{transport.WithSeed(cfg.Seed)}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	opts := []transport.MemOption{transport.WithSeed(cfg.Seed), transport.WithMetrics(reg)}
 	if cfg.DropRate > 0 {
 		opts = append(opts, transport.WithDropRate(cfg.DropRate))
 	}
@@ -139,7 +150,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if clk == nil {
 		clk = dsim.Wall
 	}
-	c := &Cluster{Net: net, cfg: cfg, clock: clk, rng: rand.New(rand.NewSource(cfg.Seed))}
+	c := &Cluster{Net: net, cfg: cfg, clock: clk, rng: rand.New(rand.NewSource(cfg.Seed)), reg: reg}
 
 	switch cfg.Protocol {
 	case Centralized:
@@ -147,7 +158,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		if err != nil {
 			return nil, err
 		}
-		c.Server = p2p.NewIndexServer(sep)
+		c.Server = p2p.NewIndexServerOn(sep, index.NewStore(index.WithMetrics(reg)))
 	case Gnutella, DHT:
 		// Peers carry the whole overlay; nothing global to set up.
 	case FastTrack:
@@ -206,16 +217,18 @@ func (c *Cluster) newPeer() (int, error) {
 	if err != nil {
 		return -1, err
 	}
-	st := index.NewStore()
+	st := index.NewStore(index.WithMetrics(c.reg))
 	var netw p2p.Network
 	switch c.cfg.Protocol {
 	case Centralized:
 		client := p2p.NewCentralizedClient(ep, "server", st)
 		client.SetClock(c.clock)
+		client.SetMetrics(c.reg)
 		netw = client
 	case Gnutella:
 		node := p2p.NewGnutellaNode(ep, st)
 		node.SetClock(c.clock)
+		node.SetMetrics(c.reg)
 		c.nodes = append(c.nodes, node)
 		netw = node
 	case DHT:
@@ -225,6 +238,7 @@ func (c *Cluster) newPeer() (int, error) {
 			RecordTTL: c.cfg.DHTRecordTTL,
 		})
 		node.SetClock(c.clock)
+		node.SetMetrics(c.reg)
 		c.dhts = append(c.dhts, node)
 		netw = node
 	case FastTrack:
@@ -242,6 +256,7 @@ func (c *Cluster) newPeer() (int, error) {
 		}
 		leaf := p2p.NewFastTrackLeaf(ep, c.supers[superIdx].PeerID(), st)
 		leaf.SetClock(c.clock)
+		leaf.SetMetrics(c.reg)
 		c.leafSuper = append(c.leafSuper, superIdx)
 		netw = leaf
 	default:
@@ -451,10 +466,26 @@ func (c *Cluster) DHTNode(i int) *dht.Node {
 	return c.dhts[i]
 }
 
+// Metrics snapshots the cluster-wide registry: transport, protocol,
+// store, and error telemetry in one consistent view. Phase accounting
+// is a pair of snapshots and a Delta, replacing the old
+// Stats/ResetStats idiom.
+func (c *Cluster) Metrics() *metrics.Snapshot { return c.reg.Snapshot() }
+
+// Registry exposes the cluster's shared registry, for callers that
+// want to resolve handles (scenario drivers) or serve it over HTTP.
+func (c *Cluster) Registry() *metrics.Registry { return c.reg }
+
 // Stats snapshots the network counters.
+//
+// Deprecated: use Metrics() — the transport.* counter names are listed
+// on transport.Stats. This view stays one release.
 func (c *Cluster) Stats() transport.Stats { return c.Net.Stats() }
 
 // ResetStats zeroes the counters between phases.
+//
+// Deprecated: snapshot Metrics() before a phase and use Snapshot.Delta
+// instead. This shim stays one release.
 func (c *Cluster) ResetStats() { c.Net.ResetStats() }
 
 // SeedCommunity creates a community at the given peer.

@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // MemNetwork is a deterministic in-memory network hub. Delivery is
@@ -27,7 +29,18 @@ type MemNetwork struct {
 	latency   func(from, to PeerID) time.Duration
 	parts     map[[2]PeerID]bool
 
-	stats   Stats
+	// Delivery accounting lives in the metrics registry: atomic handles
+	// resolved once at construction, so the record path takes no lock
+	// and allocates nothing. statsMu below only guards the path-latency
+	// high-water mark and the trace hash, which need ordered folding.
+	reg        *metrics.Registry
+	mDelivered *metrics.Counter
+	mBytes     *metrics.Counter
+	mDropped   *metrics.Counter
+	mSimLat    *metrics.Counter
+	mPerType   *metrics.CounterVec
+	mHopLat    *metrics.Histogram
+
 	statsMu sync.Mutex
 	// maxVT is the high-water cumulative virtual latency reached by any
 	// delivery since the last ResetPath: on the synchronous network a
@@ -80,6 +93,13 @@ func WithTrace() MemOption {
 	return func(n *MemNetwork) { n.traceOn = true }
 }
 
+// WithMetrics records delivery accounting into reg instead of a
+// private registry — pass a shared registry to aggregate a cluster, or
+// metrics.Discard() to turn accounting off entirely.
+func WithMetrics(reg *metrics.Registry) MemOption {
+	return func(n *MemNetwork) { n.reg = reg }
+}
+
 // NewMemNetwork creates an empty hub.
 func NewMemNetwork(opts ...MemOption) *MemNetwork {
 	n := &MemNetwork{
@@ -90,8 +110,20 @@ func NewMemNetwork(opts ...MemOption) *MemNetwork {
 	for _, o := range opts {
 		o(n)
 	}
+	if n.reg == nil {
+		n.reg = metrics.NewRegistry()
+	}
+	n.mDelivered = n.reg.Counter("transport.msgs_delivered")
+	n.mBytes = n.reg.Counter("transport.bytes_delivered")
+	n.mDropped = n.reg.Counter("transport.msgs_dropped")
+	n.mSimLat = n.reg.Counter("transport.sim_latency_ns")
+	n.mPerType = n.reg.CounterVec("transport.msgs_by_type", "type")
+	n.mHopLat = n.reg.Histogram("transport.hop_latency_ns")
 	return n
 }
+
+// Metrics returns the registry this network records into.
+func (n *MemNetwork) Metrics() *metrics.Registry { return n.reg }
 
 // Endpoint attaches a new peer. Attaching an existing live ID fails.
 func (n *MemNetwork) Endpoint(id PeerID) (Endpoint, error) {
@@ -120,22 +152,26 @@ func (n *MemNetwork) Heal(a, b PeerID) {
 }
 
 // Stats returns a copy of the accounting counters.
+//
+// Deprecated: read Metrics() instead (the transport.* counter names
+// are listed on the Stats struct). This view stays one release.
 func (n *MemNetwork) Stats() Stats {
-	n.statsMu.Lock()
-	defer n.statsMu.Unlock()
-	cp := n.stats
-	cp.PerType = make(map[string]int64, len(n.stats.PerType))
-	for k, v := range n.stats.PerType {
-		cp.PerType[k] = v
+	return Stats{
+		Messages:         n.mDelivered.Value(),
+		Bytes:            n.mBytes.Value(),
+		Dropped:          n.mDropped.Value(),
+		PerType:          n.mPerType.Values(),
+		SimulatedLatency: n.mSimLat.Value(),
 	}
-	return cp
 }
 
 // ResetStats zeroes the counters (between experiment phases).
+//
+// Deprecated: snapshot Metrics() before a phase and use
+// Snapshot.Delta instead of resetting shared state. This shim zeroes
+// every transport.* metric in the registry and stays one release.
 func (n *MemNetwork) ResetStats() {
-	n.statsMu.Lock()
-	defer n.statsMu.Unlock()
-	n.stats = Stats{}
+	n.reg.ResetPrefix("transport.")
 }
 
 // MaxPathLatency returns the largest cumulative virtual latency any
@@ -234,9 +270,11 @@ func (n *MemNetwork) deliver(msg Message, senderVT time.Duration) error {
 	dropFn := n.dropModel
 	n.mu.RUnlock()
 	if !ok {
+		n.reg.CountError(ErrUnknownPeer)
 		return fmt.Errorf("%w: %s", ErrUnknownPeer, msg.To)
 	}
 	if partitioned {
+		n.reg.CountError(ErrPartitioned)
 		return fmt.Errorf("%w: %s <-> %s", ErrPartitioned, msg.From, msg.To)
 	}
 	if dropFn != nil {
@@ -249,12 +287,13 @@ func (n *MemNetwork) deliver(msg Message, senderVT time.Duration) error {
 		lost := n.rng.Float64() < drop
 		n.rngMu.Unlock()
 		if lost {
-			n.statsMu.Lock()
-			n.stats.Dropped++
+			n.mDropped.Inc()
+			n.reg.CountError(ErrDropped)
 			if n.traceOn {
+				n.statsMu.Lock()
 				n.foldTraceLocked(msg, true)
+				n.statsMu.Unlock()
 			}
-			n.statsMu.Unlock()
 			return nil // silent loss, like a real datagram network
 		}
 	}
@@ -263,14 +302,12 @@ func (n *MemNetwork) deliver(msg Message, senderVT time.Duration) error {
 		lat = latFn(msg.From, msg.To)
 	}
 	arrival := senderVT + lat
+	n.mDelivered.Inc()
+	n.mBytes.Add(int64(len(msg.Payload)))
+	n.mPerType.With(msg.Type).Inc()
+	n.mSimLat.Add(int64(lat))
+	n.mHopLat.Observe(int64(lat))
 	n.statsMu.Lock()
-	n.stats.Messages++
-	n.stats.Bytes += int64(len(msg.Payload))
-	if n.stats.PerType == nil {
-		n.stats.PerType = make(map[string]int64)
-	}
-	n.stats.PerType[msg.Type]++
-	n.stats.SimulatedLatency += int64(lat)
 	if arrival > n.maxVT {
 		n.maxVT = arrival
 	}
@@ -288,6 +325,7 @@ func (n *MemNetwork) deliver(msg Message, senderVT time.Duration) error {
 	}
 	dst.mu.Unlock()
 	if closed {
+		n.reg.CountError(ErrClosed)
 		return fmt.Errorf("%w: %s", ErrClosed, msg.To)
 	}
 	if h != nil {

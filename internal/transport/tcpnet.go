@@ -8,6 +8,8 @@ import (
 	"io"
 	"net"
 	"sync"
+
+	"repro/internal/metrics"
 )
 
 // maxFrame bounds a single wire frame (16 MiB) so a corrupt length
@@ -31,6 +33,12 @@ type TCPNode struct {
 	inbound map[net.Conn]struct{}
 	closed  bool
 	wg      sync.WaitGroup
+
+	reg       *metrics.Registry
+	mSent     *metrics.Counter
+	mSentB    *metrics.Counter
+	mReceived *metrics.Counter
+	mRecvB    *metrics.Counter
 }
 
 var _ Endpoint = (*TCPNode)(nil)
@@ -48,9 +56,23 @@ func ListenTCP(addr string) (*TCPNode, error) {
 		conns:   make(map[PeerID]net.Conn),
 		inbound: make(map[net.Conn]struct{}),
 	}
+	n.SetMetrics(metrics.Discard())
 	n.wg.Add(1)
 	go n.acceptLoop()
 	return n, nil
+}
+
+// SetMetrics points the node's traffic accounting at reg. Like the
+// protocol nodes' SetClock, call it before traffic starts; metrics are
+// discarded until then.
+func (n *TCPNode) SetMetrics(reg *metrics.Registry) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.reg = reg
+	n.mSent = reg.Counter("transport.tcp_msgs_sent")
+	n.mSentB = reg.Counter("transport.tcp_bytes_sent")
+	n.mReceived = reg.Counter("transport.tcp_msgs_received")
+	n.mRecvB = reg.Counter("transport.tcp_bytes_received")
 }
 
 // ID implements Endpoint.
@@ -89,12 +111,16 @@ func (n *TCPNode) Send(msg Message) error {
 	}
 	if _, err := conn.Write(lenbuf[:]); err != nil {
 		n.dropConnLocked(msg.To)
+		n.reg.CountError(ErrDropped)
 		return fmt.Errorf("transport: write: %w", err)
 	}
 	if _, err := conn.Write(data); err != nil {
 		n.dropConnLocked(msg.To)
+		n.reg.CountError(ErrDropped)
 		return fmt.Errorf("transport: write: %w", err)
 	}
+	n.mSent.Inc()
+	n.mSentB.Add(int64(len(data)))
 	return nil
 }
 
@@ -183,6 +209,8 @@ func (n *TCPNode) readLoop(conn net.Conn) {
 		}
 		n.mu.Lock()
 		h := n.handler
+		n.mReceived.Inc()
+		n.mRecvB.Add(int64(size))
 		n.mu.Unlock()
 		if h != nil {
 			h(msg)

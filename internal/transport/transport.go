@@ -11,6 +11,8 @@ package transport
 import (
 	"errors"
 	"fmt"
+
+	"repro/internal/errs"
 )
 
 // PeerID identifies a peer on the network.
@@ -47,12 +49,16 @@ type Endpoint interface {
 	Close() error
 }
 
-// Common transport errors.
+// Common transport errors. Each carries a structured code
+// ("transport.<name>") so the metrics registry's error counter family
+// can classify failures; identity semantics (errors.Is against the
+// sentinel, including through fmt.Errorf("%w: ...") wrapping) are
+// unchanged from the errors.New originals.
 var (
-	ErrUnknownPeer = errors.New("transport: unknown peer")
-	ErrClosed      = errors.New("transport: endpoint closed")
-	ErrDropped     = errors.New("transport: message dropped")
-	ErrPartitioned = errors.New("transport: peers partitioned")
+	ErrUnknownPeer error = errs.New("transport.unknown_peer", "transport: unknown peer")
+	ErrClosed      error = errs.New("transport.closed", "transport: endpoint closed")
+	ErrDropped     error = errs.New("transport.dropped", "transport: message dropped")
+	ErrPartitioned error = errs.New("transport.partitioned", "transport: peers partitioned")
 )
 
 // IsPeerDead reports whether a Send error definitively means the
@@ -67,6 +73,13 @@ func IsPeerDead(err error) bool {
 
 // Stats is a snapshot of network-wide accounting, the raw material of
 // the protocol-cost experiments (E3).
+//
+// Deprecated: Stats is a legacy view over the metrics registry. Read
+// MemNetwork.Metrics() (a *metrics.Registry) instead: the counters are
+// transport.msgs_delivered, transport.bytes_delivered,
+// transport.msgs_dropped, transport.sim_latency_ns, and the
+// transport.msgs_by_type{type} family. The struct and the
+// MemNetwork.Stats()/ResetStats() accessors remain for one release.
 type Stats struct {
 	// Messages is the total number of delivered messages.
 	Messages int64

@@ -1,0 +1,45 @@
+#!/bin/sh
+# ops-smoke: boot an up2pd daemon, scrape the ops surface, and assert
+# the output is well-formed. Run via `make ops-smoke`.
+set -eu
+
+bin="$1"
+p2p=127.0.0.1:7971
+http=127.0.0.1:8971
+
+"$bin" -mode gnutella -p2p "$p2p" -http "$http" -seed designpatterns &
+pid=$!
+trap 'kill "$pid" 2>/dev/null || true' EXIT
+
+# Wait for the ops surface to come up (5s budget).
+i=0
+until curl -sf "http://$http/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "ops-smoke: daemon never served /healthz" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+echo "== /healthz"
+health=$(curl -sf "http://$http/healthz")
+echo "$health"
+echo "$health" | grep -q '"status": "ok"'
+echo "$health" | grep -q '"mode": "gnutella"'
+echo "$health" | jq -e '.docs >= 1' >/dev/null
+
+echo "== /metrics (Prometheus text)"
+prom=$(curl -sf "http://$http/metrics")
+echo "$prom" | head -8
+echo "$prom" | grep -q '^# TYPE up2p_index_docs gauge$'
+echo "$prom" | grep -q '^up2p_index_docs [1-9]'
+echo "$prom" | grep -q '^up2p_p2p_publishes{protocol="gnutella"} [1-9]'
+echo "$prom" | grep -q '_bucket{le="+Inf"}'
+
+echo "== /metrics?format=json"
+json=$(curl -sf "http://$http/metrics?format=json")
+echo "$json" | jq -e '."index.docs" >= 1' >/dev/null
+echo "$json" | jq -e '."p2p.publishes{protocol=gnutella}" >= 1' >/dev/null
+
+echo "ops-smoke: OK"
