@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race fmt vet bench-smoke determinism sim-smoke ops-smoke ci
+.PHONY: build test race fmt vet bench-smoke determinism sim-smoke ops-smoke crash-smoke ci
 
 build:
 	$(GO) build ./...
@@ -26,12 +26,14 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-# Compile-and-run every benchmark once so they cannot rot, plus a
-# reduced-scale E13 run: the flooding-vs-DHT scaling comparison must
-# keep producing both columns.
+# Compile-and-run every benchmark once so they cannot rot, plus
+# reduced-scale runs of E13 (the flooding-vs-DHT scaling comparison
+# must keep producing both columns) and E18 (the WAL overhead and
+# recovery measurements must keep completing).
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 	$(GO) run ./cmd/up2pbench -run E13 -e13-max-peers 100
+	$(GO) run ./cmd/up2pbench -run E18 -wal-docs 40 -wal-recovery-batches 20,60
 
 # Determinism gate: the golden-trace tests must produce identical
 # message-trace hashes on repeated in-process runs (catches map-order
@@ -53,4 +55,10 @@ ops-smoke:
 	$(GO) build -o /tmp/up2pd-ops-smoke ./cmd/up2pd
 	sh scripts/ops_smoke.sh /tmp/up2pd-ops-smoke
 
-ci: build fmt vet test race bench-smoke determinism sim-smoke ops-smoke
+# Durability gate: the kill-at-random-offset and recovery tests under
+# the race detector. Catches both torn-log regressions and data races
+# on the WAL append path.
+crash-smoke:
+	$(GO) test -race -count=1 -run 'WAL|Crash|Poisoned|ConsistentCut|CorruptMiddle' ./internal/index ./internal/core
+
+ci: build fmt vet test race bench-smoke determinism sim-smoke ops-smoke crash-smoke

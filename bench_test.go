@@ -147,6 +147,7 @@ func benchProtocolQuery(b *testing.B, proto sim.Protocol, peers, ttl int) {
 		b.Fatal(err)
 	}
 	f := query.MustParse("(classification=behavioral)")
+	base := c.Metrics()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := c.SearchFrom(i%peers, comm.ID, f, p2p.SearchOptions{TTL: ttl}); err != nil {
@@ -154,8 +155,8 @@ func benchProtocolQuery(b *testing.B, proto sim.Protocol, peers, ttl int) {
 		}
 	}
 	b.StopTimer()
-	st := c.Stats()
-	b.ReportMetric(float64(st.Messages)/float64(b.N), "msgs/query")
+	msgs := c.Metrics().Delta(base).Counter("transport.msgs_delivered")
+	b.ReportMetric(float64(msgs)/float64(b.N), "msgs/query")
 }
 
 // BenchmarkE3ProtocolCost sweeps the E3 grid: protocol x network size.

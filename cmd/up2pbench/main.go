@@ -1,10 +1,11 @@
 // Command up2pbench runs the experiment suite of EXPERIMENTS.md and
-// prints every table/figure reproduction (F1–F3, E1–E15).
+// prints every table/figure reproduction (F1–F3, E1–E15, E18).
 //
 //	up2pbench                          # run everything
 //	up2pbench -run E3                  # one experiment
 //	up2pbench -run E10 -scn-peers 200  # scenario experiment, reduced scale
 //	up2pbench -run E13 -dht-k 8        # DHT comparison, smaller replication
+//	up2pbench -run E18 -wal-docs 50    # WAL durability cost, reduced scale
 //	up2pbench -list                    # list experiments
 package main
 
@@ -12,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/bench"
@@ -26,7 +29,7 @@ func main() {
 
 func run() error {
 	var (
-		only = flag.String("run", "", "run a single experiment by ID (F1..F3, E1..E15)")
+		only = flag.String("run", "", "run a single experiment by ID (F1..F3, E1..E15, E18)")
 		list = flag.Bool("list", false, "list experiments and exit")
 		// E9 (store scalability) workload knobs.
 		storeWorkers = flag.Int("store-workers", bench.StoreBenchConfig.Workers,
@@ -53,6 +56,11 @@ func run() error {
 			"E13-E15: DHT lookup parallelism")
 		e13Peers = flag.Int("e13-max-peers", bench.DHTBenchConfig.E13MaxPeers,
 			"E13: cap on the population ladder")
+		// E18 (WAL durability) knobs.
+		walDocs = flag.Int("wal-docs", bench.WALBenchConfig.DocsPerCommunity,
+			"E18: documents per community in the ingest workloads")
+		walBatches = flag.String("wal-recovery-batches", "",
+			"E18: comma-separated log lengths (in batches) for the recovery curve")
 	)
 	flag.Parse()
 	bench.StoreBenchConfig.Workers = *storeWorkers
@@ -66,6 +74,18 @@ func run() error {
 	bench.DHTBenchConfig.K = *dhtK
 	bench.DHTBenchConfig.Alpha = *dhtAlpha
 	bench.DHTBenchConfig.E13MaxPeers = *e13Peers
+	bench.WALBenchConfig.DocsPerCommunity = *walDocs
+	if *walBatches != "" {
+		var lens []int
+		for _, s := range strings.Split(*walBatches, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n <= 0 {
+				return fmt.Errorf("-wal-recovery-batches: bad length %q", s)
+			}
+			lens = append(lens, n)
+		}
+		bench.WALBenchConfig.RecoveryBatches = lens
+	}
 
 	if *list {
 		for _, r := range bench.All() {

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"repro/internal/index"
 )
 
 // Config collects every up2pd setting in one validated struct. Each
@@ -36,6 +38,15 @@ type Config struct {
 	// and saved on shutdown; empty disables persistence. Env:
 	// UP2P_STATE.
 	StateDir string
+	// WAL enables the store's write-ahead log under StateDir/wal:
+	// every write is durable when acknowledged, crash recovery replays
+	// snapshot + log on start, and clean shutdown compacts. Requires
+	// StateDir. Env: UP2P_WAL (1/true).
+	WAL bool
+	// Fsync is the WAL fsync policy: "always" (default; survives power
+	// loss) or "os" (page-cache flushing; survives process crash
+	// only). Env: UP2P_FSYNC.
+	Fsync string
 }
 
 // LoadConfig parses args (without the program name), filling unset
@@ -56,6 +67,14 @@ func LoadConfig(args []string, getenv func(string) string) (Config, error) {
 		}
 		seedN = n
 	}
+	walDefault := false
+	if v := getenv("UP2P_WAL"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return Config{}, fmt.Errorf("UP2P_WAL: %v", err)
+		}
+		walDefault = b
+	}
 
 	var cfg Config
 	fs := flag.NewFlagSet("up2pd", flag.ContinueOnError)
@@ -67,6 +86,8 @@ func LoadConfig(args []string, getenv func(string) string) (Config, error) {
 	fs.StringVar(&cfg.Seed, "seed", env("UP2P_SEED", ""), "pre-seed a demo community: designpatterns|mp3|cml|species (env UP2P_SEED)")
 	fs.IntVar(&cfg.SeedN, "seedn", seedN, "number of seeded objects (env UP2P_SEEDN)")
 	fs.StringVar(&cfg.StateDir, "state", env("UP2P_STATE", ""), "directory for persistent state, loaded at start and saved on shutdown (env UP2P_STATE)")
+	fs.BoolVar(&cfg.WAL, "wal", walDefault, "write-ahead log the store under <state>/wal: acked writes survive crashes (env UP2P_WAL)")
+	fs.StringVar(&cfg.Fsync, "fsync", env("UP2P_FSYNC", string(index.FsyncAlways)), "WAL fsync policy: always | os (env UP2P_FSYNC)")
 	if err := fs.Parse(args); err != nil {
 		return Config{}, err
 	}
@@ -100,6 +121,12 @@ func (c Config) Validate() error {
 	}
 	if c.SeedN <= 0 {
 		return fmt.Errorf("seedn must be positive, got %d", c.SeedN)
+	}
+	if c.WAL && c.StateDir == "" {
+		return fmt.Errorf("-wal requires -state (or UP2P_STATE): the log lives under the state directory")
+	}
+	if _, err := index.ParseFsyncPolicy(c.Fsync); err != nil {
+		return err
 	}
 	return nil
 }

@@ -79,3 +79,43 @@ func TestLoadConfigBadEnvSeedN(t *testing.T) {
 		t.Fatal("malformed UP2P_SEEDN accepted")
 	}
 }
+
+func TestLoadConfigWALFlags(t *testing.T) {
+	// Defaults: WAL off, fsync always.
+	cfg, err := LoadConfig([]string{"-mode", "gnutella"}, envMap(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.WAL || cfg.Fsync != "always" {
+		t.Fatalf("unexpected WAL defaults: %+v", cfg)
+	}
+	// Flag form.
+	cfg, err = LoadConfig([]string{"-mode", "gnutella", "-state", "/tmp/s", "-wal", "-fsync", "os"}, envMap(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.WAL || cfg.Fsync != "os" {
+		t.Fatalf("WAL flags not applied: %+v", cfg)
+	}
+	// Env form.
+	cfg, err = LoadConfig([]string{"-mode", "gnutella", "-state", "/tmp/s"},
+		envMap(map[string]string{"UP2P_WAL": "true", "UP2P_FSYNC": "os"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.WAL || cfg.Fsync != "os" {
+		t.Fatalf("WAL env not applied: %+v", cfg)
+	}
+}
+
+func TestLoadConfigWALValidation(t *testing.T) {
+	if _, err := LoadConfig([]string{"-mode", "gnutella", "-wal"}, envMap(nil)); err == nil || !strings.Contains(err.Error(), "requires -state") {
+		t.Fatalf("want wal-requires-state error, got %v", err)
+	}
+	if _, err := LoadConfig([]string{"-mode", "gnutella", "-state", "/tmp/s", "-wal", "-fsync", "sometimes"}, envMap(nil)); err == nil || !strings.Contains(err.Error(), "fsync") {
+		t.Fatalf("want bad-fsync error, got %v", err)
+	}
+	if _, err := LoadConfig([]string{"-mode", "gnutella"}, envMap(map[string]string{"UP2P_WAL": "maybe"})); err == nil {
+		t.Fatal("bad UP2P_WAL accepted")
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -82,13 +83,25 @@ func run() error {
 
 	switch cfg.Mode {
 	case "indexserver":
-		is := p2p.NewIndexServerOn(node, index.NewStore(index.WithMetrics(reg)))
+		store, err := openStore(cfg, reg)
+		if err != nil {
+			return err
+		}
+		is := p2p.NewIndexServerOn(node, store)
 		healthFn = func() health {
 			h := base()
 			h.Docs = is.Len()
 			return h
 		}
-		cleanup = node.Close
+		cleanup = func() error {
+			err := node.Close()
+			// Clean shutdown folds the WAL into one snapshot (no-op
+			// without -wal).
+			if cerr := store.Close(); err == nil {
+				err = cerr
+			}
+			return err
+		}
 	case "superpeer":
 		sp := p2p.NewSuperPeer(node)
 		for _, n := range cfg.Neighbors {
@@ -108,14 +121,22 @@ func run() error {
 		}
 		if cfg.StateDir != "" {
 			defer func() {
-				if err := saveState(sv, cfg.StateDir); err != nil {
+				if err := saveState(sv, cfg); err != nil {
 					log.Printf("save state: %v", err)
 				}
 			}()
 		}
 		app = servent.New(sv)
 		healthFn = hf
-		cleanup = sv.Close
+		cleanup = func() error {
+			err := sv.Close()
+			// Clean shutdown folds the WAL into one snapshot (no-op
+			// without -wal).
+			if cerr := sv.Store().Close(); err == nil {
+				err = cerr
+			}
+			return err
+		}
 		log.Printf("web interface on http://%s/", cfg.HTTPAddr)
 	}
 
@@ -124,8 +145,10 @@ func run() error {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 
+	// SIGTERM is what systemd and docker send on stop; missing it
+	// (the old os.Interrupt-only Notify) skipped the state save.
 	intc := make(chan os.Signal, 1)
-	signal.Notify(intc, os.Interrupt)
+	signal.Notify(intc, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errc:
 		_ = cleanup()
@@ -141,7 +164,10 @@ func run() error {
 // fasttrack, dht) onto the shared registry and returns it with its
 // mode-specific health callback.
 func buildServent(cfg Config, node *transport.TCPNode, reg *metrics.Registry, base func() health) (*core.Servent, func() health, error) {
-	store := index.NewStore(index.WithMetrics(reg))
+	store, err := openStore(cfg, reg)
+	if err != nil {
+		return nil, nil, err
+	}
 	var network p2p.Network
 	var healthFn func() health
 	switch cfg.Mode {
@@ -226,7 +252,7 @@ func buildServent(cfg Config, node *transport.TCPNode, reg *metrics.Registry, ba
 		return nil, nil, err
 	}
 	if cfg.StateDir != "" {
-		if err := loadState(sv, cfg.StateDir); err != nil {
+		if err := loadState(sv, cfg); err != nil {
 			return nil, nil, err
 		}
 	}
@@ -261,10 +287,38 @@ func seedCommunity(sv *core.Servent, name string, n int) error {
 	return nil
 }
 
-// loadState restores servent state and store from dir when the
-// snapshot files exist; a fresh directory is not an error.
-func loadState(sv *core.Servent, dir string) error {
-	stateFile := filepath.Join(dir, "servent.json")
+// openStore builds the daemon's metadata store: WAL-backed (crash
+// recovery runs inside OpenStore) when -wal is set, plain in-memory
+// otherwise.
+func openStore(cfg Config, reg *metrics.Registry) (*index.Store, error) {
+	opts := []index.Option{index.WithMetrics(reg)}
+	if cfg.WAL {
+		policy, err := index.ParseFsyncPolicy(cfg.Fsync)
+		if err != nil {
+			return nil, err
+		}
+		dir := walDir(cfg)
+		opts = append(opts, index.WithWAL(dir), index.WithWALFsync(policy))
+		store, err := index.OpenStore(opts...)
+		if err != nil {
+			return nil, err
+		}
+		log.Printf("wal open in %s (fsync=%s): %d objects recovered", dir, policy, store.Len())
+		return store, nil
+	}
+	return index.NewStore(opts...), nil
+}
+
+// walDir is where the store's log and compacted snapshot live.
+func walDir(cfg Config) string { return filepath.Join(cfg.StateDir, "wal") }
+
+// loadState restores servent state and store from the state directory
+// when snapshots exist; a fresh directory is not an error. With the
+// WAL enabled the store was already recovered by openStore, so only
+// the servent state file is read; either way restored objects are
+// re-announced to the network.
+func loadState(sv *core.Servent, cfg Config) error {
+	stateFile := filepath.Join(cfg.StateDir, "servent.json")
 	if f, err := os.Open(stateFile); err == nil {
 		defer f.Close()
 		if err := sv.LoadState(f); err != nil {
@@ -272,32 +326,36 @@ func loadState(sv *core.Servent, dir string) error {
 		}
 		log.Printf("restored servent state from %s", stateFile)
 	}
-	storeFile := filepath.Join(dir, "store.json")
-	if f, err := os.Open(storeFile); err == nil {
-		defer f.Close()
-		if err := sv.Store().Load(f); err != nil {
-			return err
+	if !cfg.WAL {
+		storeFile := filepath.Join(cfg.StateDir, "store.json")
+		if f, err := os.Open(storeFile); err == nil {
+			defer f.Close()
+			if err := sv.Store().Load(f); err != nil {
+				return err
+			}
+			log.Printf("restored %d objects from %s", sv.Store().Len(), storeFile)
 		}
-		// Re-announce restored objects.
-		for _, communityID := range sv.Store().Communities() {
-			for _, d := range sv.SearchLocal(communityID, query.MatchAll{}, 0) {
-				if err := sv.Network().Publish(d); err != nil {
-					return err
-				}
+	}
+	// Re-announce restored objects (from store.json or WAL recovery).
+	for _, communityID := range sv.Store().Communities() {
+		for _, d := range sv.SearchLocal(communityID, query.MatchAll{}, 0) {
+			if err := sv.Network().Publish(d); err != nil {
+				return err
 			}
 		}
-		log.Printf("restored %d objects from %s", sv.Store().Len(), storeFile)
 	}
 	return nil
 }
 
-// saveState writes servent state and store snapshots into dir.
-func saveState(sv *core.Servent, dir string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+// saveState writes servent state (and, without a WAL, the store
+// snapshot) into the state directory. A WAL-backed store persists
+// through Close instead: clean shutdown compacts the log.
+func saveState(sv *core.Servent, cfg Config) error {
+	if err := os.MkdirAll(cfg.StateDir, 0o755); err != nil {
 		return err
 	}
 	write := func(name string, save func(io.Writer) error) error {
-		f, err := os.Create(filepath.Join(dir, name))
+		f, err := os.Create(filepath.Join(cfg.StateDir, name))
 		if err != nil {
 			return err
 		}
@@ -310,9 +368,11 @@ func saveState(sv *core.Servent, dir string) error {
 	if err := write("servent.json", sv.SaveState); err != nil {
 		return err
 	}
-	if err := write("store.json", sv.Store().Save); err != nil {
-		return err
+	if !cfg.WAL {
+		if err := write("store.json", sv.Store().Save); err != nil {
+			return err
+		}
 	}
-	log.Printf("saved state to %s", dir)
+	log.Printf("saved state to %s", cfg.StateDir)
 	return nil
 }

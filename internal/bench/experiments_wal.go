@@ -1,0 +1,254 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/index"
+	"repro/internal/query"
+)
+
+// WALBenchConfig tunes E18, the crash-safe persistence experiment. The
+// up2pbench command exposes these as flags.
+var WALBenchConfig = struct {
+	// Communities is the number of distinct communities seeded.
+	Communities int
+	// DocsPerCommunity is the corpus size per community.
+	DocsPerCommunity int
+	// BatchDocs is the PutBatch size of the batch-ingest workload (and
+	// of the recovery-log writer).
+	BatchDocs int
+	// RecoveryBatches are the log lengths (in batches of BatchDocs
+	// documents) of the recovery-time curve.
+	RecoveryBatches []int
+}{
+	Communities:      8,
+	DocsPerCommunity: 150,
+	BatchDocs:        25,
+	RecoveryBatches:  []int{50, 200, 800},
+}
+
+// RunE18 measures what durability costs and what recovery buys:
+// ingest throughput with the WAL off, on with fsync=os, and on with
+// fsync=always (batch and single-document workloads), then recovery
+// time as a function of log length (replaying an uncompacted log into
+// a fresh store, the crash-restart path).
+func RunE18() (Table, error) {
+	cfg := WALBenchConfig
+	t := Table{
+		ID:    "E18",
+		Title: "crash-safe persistence: WAL ingest overhead and recovery time",
+		Headers: []string{
+			"phase", "configuration", "docs", "log MB", "secs", "docs/sec", "relative",
+		},
+		Notes: []string{
+			fmt.Sprintf("%d communities x %d docs; batches of %d", cfg.Communities, cfg.DocsPerCommunity, cfg.BatchDocs),
+			"expected shape: fsync=always pays one fsync per acked write, so single-doc ingest collapses to the disk's sync rate while batches amortize it; fsync=os stays near the in-memory rate",
+			"recovery replays snapshot + log ordered by LSN; time grows linearly with uncompacted log length, which is what compaction bounds",
+		},
+	}
+
+	ingestConfigs := []struct {
+		name  string
+		wal   bool
+		fsync index.FsyncPolicy
+	}{
+		{"no wal", false, ""},
+		{"wal fsync=os", true, index.FsyncOS},
+		{"wal fsync=always", true, index.FsyncAlways},
+	}
+	baseline := make(map[string]float64) // workload -> no-wal docs/sec
+	for _, c := range ingestConfigs {
+		for _, workload := range []string{"batch ingest", "single-doc put"} {
+			dir, store, err := e18Open(c.wal, c.fsync)
+			if err != nil {
+				return Table{}, err
+			}
+			docs := cfg.Communities * cfg.DocsPerCommunity
+			batch := cfg.BatchDocs
+			if workload == "single-doc put" {
+				batch = 1
+				docs /= 5 // fsync-bound: keep the slowest cell short
+			}
+			start := time.Now()
+			if err := e18Ingest(store, docs, batch, 0); err != nil {
+				return Table{}, err
+			}
+			secs := time.Since(start).Seconds()
+			logMB := e18LogMB(dir)
+			if err := e18Close(dir, store); err != nil {
+				return Table{}, err
+			}
+			rate := float64(docs) / secs
+			rel := "1.00x"
+			if c.name == "no wal" {
+				baseline[workload] = rate
+			} else if b := baseline[workload]; b > 0 {
+				rel = fmt.Sprintf("%.2fx", rate/b)
+			}
+			t.Rows = append(t.Rows, []string{
+				"ingest (" + workload + ")", c.name,
+				fmt.Sprintf("%d", docs), logMB,
+				fmt.Sprintf("%.3f", secs), fmt.Sprintf("%.0f", rate), rel,
+			})
+		}
+	}
+
+	for _, batches := range cfg.RecoveryBatches {
+		secs, docs, logMB, err := e18Recovery(batches, cfg.BatchDocs)
+		if err != nil {
+			return Table{}, err
+		}
+		t.Rows = append(t.Rows, []string{
+			"recover", fmt.Sprintf("%d-batch log", batches),
+			fmt.Sprintf("%d", docs), logMB,
+			fmt.Sprintf("%.3f", secs), fmt.Sprintf("%.0f", float64(docs)/secs), "-",
+		})
+	}
+	return t, nil
+}
+
+// e18Open builds a fresh store, WAL-backed in a temp directory when
+// wal is set. Auto-compaction is off so measured logs keep their full
+// length.
+func e18Open(wal bool, fsync index.FsyncPolicy) (string, *index.Store, error) {
+	if !wal {
+		return "", index.NewStore(), nil
+	}
+	dir, err := os.MkdirTemp("", "up2p-e18-*")
+	if err != nil {
+		return "", nil, err
+	}
+	store, err := index.OpenStore(
+		index.WithWAL(dir),
+		index.WithWALFsync(fsync),
+		index.WithWALCompactBytes(0),
+	)
+	if err != nil {
+		os.RemoveAll(dir)
+		return "", nil, err
+	}
+	return dir, store, nil
+}
+
+// e18Close releases a store from e18Open and removes its directory.
+func e18Close(dir string, store *index.Store) error {
+	err := store.Close()
+	if dir != "" {
+		os.RemoveAll(dir)
+	}
+	return err
+}
+
+// e18Ingest writes docs documents in PutBatch calls of the given size,
+// spread over the configured community count, numbering from seq to
+// keep IDs distinct across calls.
+func e18Ingest(store *index.Store, docs, batchSize, seq int) error {
+	comms := WALBenchConfig.Communities
+	for n := 0; n < docs; n += batchSize {
+		batch := make([]*index.Document, 0, batchSize)
+		for i := n; i < n+batchSize && i < docs; i++ {
+			batch = append(batch, &index.Document{
+				ID:          index.DocID(fmt.Sprintf("d-%08d", seq+i)),
+				CommunityID: fmt.Sprintf("community-%02d", i%comms),
+				Title:       fmt.Sprintf("Doc %d", seq+i),
+				XML:         "<obj>payload</obj>",
+				Attrs:       query.Attrs{"k": {fmt.Sprintf("v%d", i%10)}},
+			})
+		}
+		if err := store.PutBatch(batch); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// e18Recovery writes an uncompacted log of the given length, copies
+// the WAL directory aside (preserving the un-folded log the way a
+// crash would), and times OpenStore replaying it.
+func e18Recovery(batches, batchDocs int) (secs float64, docs int, logMB string, err error) {
+	dir, store, err := e18Open(true, index.FsyncOS)
+	if err != nil {
+		return 0, 0, "", err
+	}
+	defer os.RemoveAll(dir)
+	docs = batches * batchDocs
+	if err := e18Ingest(store, docs, batchDocs, 0); err != nil {
+		return 0, 0, "", err
+	}
+	// Copy before Close: Close compacts, and the point is to replay
+	// the full log, as after a crash.
+	crashDir, err := e18CopyDir(dir)
+	if err != nil {
+		return 0, 0, "", err
+	}
+	defer os.RemoveAll(crashDir)
+	if err := store.Close(); err != nil {
+		return 0, 0, "", err
+	}
+	logMB = e18LogMB(crashDir)
+
+	start := time.Now()
+	recovered, err := index.OpenStore(index.WithWAL(crashDir), index.WithWALCompactBytes(0))
+	if err != nil {
+		return 0, 0, "", err
+	}
+	secs = time.Since(start).Seconds()
+	if got := recovered.Len(); got != docs {
+		recovered.Close()
+		return 0, 0, "", fmt.Errorf("E18: recovered %d docs, want %d", got, docs)
+	}
+	return secs, docs, logMB, recovered.Close()
+}
+
+// e18CopyDir copies a WAL directory into a fresh temp directory.
+func e18CopyDir(dir string) (string, error) {
+	out, err := os.MkdirTemp("", "up2p-e18-crash-*")
+	if err != nil {
+		return "", err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		os.RemoveAll(out)
+		return "", err
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			os.RemoveAll(out)
+			return "", err
+		}
+		if err := os.WriteFile(filepath.Join(out, e.Name()), data, 0o644); err != nil {
+			os.RemoveAll(out)
+			return "", err
+		}
+	}
+	return out, nil
+}
+
+// e18LogMB sums the wal segment sizes under dir ("-" without a WAL).
+func e18LogMB(dir string) string {
+	if dir == "" {
+		return "-"
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "-"
+	}
+	var total int64
+	for _, e := range entries {
+		if !strings.HasPrefix(e.Name(), "wal-") {
+			continue
+		}
+		if info, err := e.Info(); err == nil {
+			total += info.Size()
+		}
+	}
+	return fmt.Sprintf("%.2f", float64(total)/(1<<20))
+}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"repro/internal/stylegen"
 )
 
 // serventState is the serialized servent: joined communities (by their
@@ -65,6 +67,11 @@ func (s *Servent) SaveState(w io.Writer) error {
 // Shared objects are restored separately by loading the index store.
 // Loaded community IDs are re-derived from content, so a state file
 // from any peer installs identically.
+//
+// The load is all-or-nothing: every community spec is built and
+// validated (schema, indexing stylesheet, ID drift) before any of
+// them is installed, so a corrupt entry in the middle of the file
+// cannot leave the servent half-restored.
 func (s *Servent) LoadState(r io.Reader) error {
 	var st serventState
 	if err := json.NewDecoder(r).Decode(&st); err != nil {
@@ -73,6 +80,11 @@ func (s *Servent) LoadState(r io.Reader) error {
 	if st.Version != stateVersion {
 		return fmt.Errorf("core: load state: unsupported version %d", st.Version)
 	}
+	type stagedCommunity struct {
+		c  *Community
+		ix *stylegen.Indexer
+	}
+	staged := make([]stagedCommunity, 0, len(st.Communities))
 	for i, spec := range st.Communities {
 		c, err := NewCommunity(spec)
 		if err != nil {
@@ -82,11 +94,17 @@ func (s *Servent) LoadState(r io.Reader) error {
 			return fmt.Errorf("core: load community %q: ID drift (%s -> %s)",
 				spec.Name, st.CommunityID[i], c.ID)
 		}
-		if err := s.install(c); err != nil {
-			return err
+		ix, err := c.Indexer()
+		if err != nil {
+			return fmt.Errorf("core: load community %q: %w", spec.Name, err)
 		}
+		staged = append(staged, stagedCommunity{c: c, ix: ix})
 	}
 	s.mu.Lock()
+	for _, sc := range staged {
+		s.communities[sc.c.ID] = sc.c
+		s.indexers[sc.c.ID] = sc.ix
+	}
 	for uri, data := range st.Attachments {
 		s.attachments[uri] = data
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -128,5 +129,57 @@ func TestRestoredServentWorksOnNetwork(t *testing.T) {
 	}
 	if !providers[string(fresh.PeerID())] {
 		t.Errorf("restored servent not providing: %v", providers)
+	}
+}
+
+// TestLoadStateCorruptMiddleInstallsNothing is the regression test
+// for partial installs: a bad spec in the middle of the state file
+// used to error out after earlier communities were already installed.
+// LoadState now validates every entry before installing any.
+func TestLoadStateCorruptMiddleInstallsNothing(t *testing.T) {
+	f := newFixture(t, 2)
+	donor := f.servents[0]
+	c1, err := donor.CreateCommunity(CommunitySpec{Name: "first", SchemaSrc: songSchema})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := donor.CreateCommunity(CommunitySpec{Name: "second", SchemaSrc: songSchema})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := donor.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Poison the middle: splice a community with a broken schema
+	// between the two good ones.
+	var st serventState
+	if err := json.Unmarshal(buf.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Communities) != 2 {
+		t.Fatalf("saved %d communities, want 2", len(st.Communities))
+	}
+	bad := CommunitySpec{Name: "broken", SchemaSrc: "<not-a-schema"}
+	st.Communities = []CommunitySpec{st.Communities[0], bad, st.Communities[1]}
+	st.CommunityID = []string{st.CommunityID[0], "bogus", st.CommunityID[1]}
+	poisoned, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	restored := f.servents[1]
+	if err := restored.LoadState(bytes.NewReader(poisoned)); err == nil {
+		t.Fatal("poisoned state accepted")
+	}
+	// Nothing was installed — not even the valid first community.
+	if restored.IsJoined(c1.ID) {
+		t.Error("community before the corrupt entry was installed")
+	}
+	if restored.IsJoined(c2.ID) {
+		t.Error("community after the corrupt entry was installed")
+	}
+	if joined := restored.Joined(); len(joined) != 1 || joined[0] != RootCommunityID {
+		t.Errorf("joined = %v, want only the root community", joined)
 	}
 }

@@ -116,15 +116,6 @@ func (n *Node) TableLen() int { return n.table.Len() }
 // the keyspace.
 func (n *Node) RecordCount() int { return n.records.len(n.clk.Now()) }
 
-// LookupCounters returns cumulative lookup telemetry: lookups run,
-// total rounds (hops), and total peers contacted.
-//
-// Deprecated: read Metrics() instead — counters dht.lookups,
-// dht.lookup_rounds, dht.peers_contacted. This view stays one release.
-func (n *Node) LookupCounters() (lookups, rounds, contacted int64) {
-	return n.mLookups.Value(), n.mRounds.Value(), n.mContacted.Value()
-}
-
 // Metrics returns the registry this node records into.
 func (n *Node) Metrics() *metrics.Registry {
 	n.mu.RLock()

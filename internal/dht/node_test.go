@@ -208,16 +208,17 @@ func TestDeadContactRepair(t *testing.T) {
 func TestLookupConvergence(t *testing.T) {
 	_, nodes := testNet(t, 64, Config{K: 8, Alpha: 3})
 	target := KeyForCommunity("patterns")
-	look0, rounds0, contacted0 := nodes[17].LookupCounters()
+	before := nodes[17].Metrics().Snapshot()
 	out1 := nodes[17].lookup(target, nil)
 	out2 := nodes[17].lookup(target, nil)
 	if out1.rounds == 0 || out1.rounds > 6 {
 		t.Fatalf("rounds = %d, want 1..6", out1.rounds)
 	}
-	look1, rounds1, contacted1 := nodes[17].LookupCounters()
-	if look1 != look0+2 || rounds1-rounds0 != int64(out1.rounds+out2.rounds) || contacted1 <= contacted0 {
-		t.Fatalf("lookup counters inconsistent: lookups %d->%d rounds %d->%d contacted %d->%d",
-			look0, look1, rounds0, rounds1, contacted0, contacted1)
+	d := nodes[17].Metrics().Snapshot().Delta(before)
+	lookups, rounds, contacted := d.Counter("dht.lookups"), d.Counter("dht.lookup_rounds"), d.Counter("dht.peers_contacted")
+	if lookups != 2 || rounds != int64(out1.rounds+out2.rounds) || contacted <= 0 {
+		t.Fatalf("lookup counters inconsistent: lookups=%d rounds=%d (want %d) contacted=%d",
+			lookups, rounds, out1.rounds+out2.rounds, contacted)
 	}
 	if len(out1.contacts) != 8 {
 		t.Fatalf("contacts = %d, want k=8", len(out1.contacts))

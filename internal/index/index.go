@@ -91,9 +91,23 @@ const (
 type Option func(*storeConfig)
 
 type storeConfig struct {
-	shards    int
-	cacheSize int
-	metrics   *metrics.Registry
+	shards          int
+	cacheSize       int
+	metrics         *metrics.Registry
+	walDir          string
+	walFsync        FsyncPolicy
+	walSegmentBytes int64
+	walCompactBytes int64
+}
+
+func defaultStoreConfig() storeConfig {
+	return storeConfig{
+		shards:          DefaultShards,
+		cacheSize:       DefaultCacheSize,
+		walFsync:        FsyncAlways,
+		walSegmentBytes: DefaultWALSegmentBytes,
+		walCompactBytes: DefaultWALCompactBytes,
+	}
 }
 
 // WithShards sets the shard count (rounded up to a power of two,
@@ -118,6 +132,32 @@ func WithMetrics(reg *metrics.Registry) Option {
 	return func(c *storeConfig) { c.metrics = reg }
 }
 
+// WithWAL arms crash-safe persistence under dir: every write is
+// appended to a per-shard write-ahead log before it is applied, and
+// OpenStore replays snapshot + log on start. Only OpenStore honors
+// this option (opening a log can fail); NewStore panics on it.
+func WithWAL(dir string) Option {
+	return func(c *storeConfig) { c.walDir = dir }
+}
+
+// WithWALFsync sets the log's fsync policy (default FsyncAlways).
+func WithWALFsync(p FsyncPolicy) Option {
+	return func(c *storeConfig) { c.walFsync = p }
+}
+
+// WithWALSegmentBytes sets the per-shard segment size beyond which
+// appends rotate to a fresh file (default DefaultWALSegmentBytes).
+func WithWALSegmentBytes(n int64) Option {
+	return func(c *storeConfig) { c.walSegmentBytes = n }
+}
+
+// WithWALCompactBytes sets the total live-log size beyond which the
+// next write triggers automatic compaction; 0 disables auto
+// compaction (default DefaultWALCompactBytes).
+func WithWALCompactBytes(n int64) Option {
+	return func(c *storeConfig) { c.walCompactBytes = n }
+}
+
 // Store is a thread-safe sharded metadata store with an inverted
 // index. See the package comment for the sharding design.
 type Store struct {
@@ -137,6 +177,9 @@ type Store struct {
 	// external serialization (the IndexServer serializes registrations
 	// for exactly this reason).
 	dir sync.Map // DocID -> uint32 shard index
+	// wal, when non-nil, logs every write before it is applied; see
+	// wal.go. Armed only by OpenStore.
+	wal *wal
 }
 
 // shard holds one stripe of the store: the documents of every
@@ -158,13 +201,25 @@ type shard struct {
 	cache *resultCache
 }
 
-// NewStore returns an empty store with the given options (default: 16
-// shards, 128 cached result sets per shard).
+// NewStore returns an empty in-memory store with the given options
+// (default: 16 shards, 128 cached result sets per shard). For a
+// durable store, pass WithWAL to OpenStore instead; NewStore panics
+// on WithWAL because arming a log can fail and NewStore has no error
+// to return.
 func NewStore(opts ...Option) *Store {
-	cfg := storeConfig{shards: DefaultShards, cacheSize: DefaultCacheSize}
+	cfg := defaultStoreConfig()
 	for _, o := range opts {
 		o(&cfg)
 	}
+	if cfg.walDir != "" {
+		panic("index: NewStore cannot arm a WAL; use OpenStore")
+	}
+	return newStore(cfg)
+}
+
+// newStore builds the in-memory structures shared by NewStore and
+// OpenStore.
+func newStore(cfg storeConfig) *Store {
 	n := ceilPow2(cfg.shards)
 	reg := cfg.metrics
 	if reg == nil {
@@ -246,19 +301,27 @@ func (s *Store) shardOf(id DocID) *shard {
 }
 
 // Put inserts or replaces a document. The document is copied; the
-// caller keeps ownership of its argument.
+// caller keeps ownership of its argument. With a WAL armed, the write
+// is logged (and, under FsyncAlways, synced) before it is applied; an
+// error means the store is unchanged.
 func (s *Store) Put(doc *Document) error {
 	if doc == nil || doc.ID == "" {
 		return ErrNoID
 	}
+	s.maybeCompact()
 	cp := doc.clone()
 	idx := s.shardIndex(cp.CommunityID)
 	s.evictForeign(cp.ID, idx)
 	sh := s.shards[idx]
 	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if s.wal != nil {
+		if err := s.wal.appendRecord(idx, walRecord{Op: walOpPut, Docs: []*Document{cp}}); err != nil {
+			return err
+		}
+	}
 	sh.putLocked(cp)
 	s.dir.Store(cp.ID, idx)
-	sh.mu.Unlock()
 	return nil
 }
 
@@ -268,6 +331,12 @@ func (s *Store) Put(doc *Document) error {
 // batch is validated up front: on an ID-less document nothing is
 // written. Duplicate IDs within one batch behave like sequential Puts
 // (the last occurrence wins).
+//
+// With a WAL armed, each shard's slice of the batch is logged before
+// it is applied, and the batch is acknowledged (nil return) only once
+// every record is on the log (synced, under FsyncAlways) — an
+// acknowledged batch survives a crash. A mid-batch append failure
+// leaves earlier shards applied and the failing shard untouched.
 func (s *Store) PutBatch(docs []*Document) error {
 	for _, d := range docs {
 		if d == nil || d.ID == "" {
@@ -277,6 +346,7 @@ func (s *Store) PutBatch(docs []*Document) error {
 	if len(docs) == 0 {
 		return nil
 	}
+	s.maybeCompact()
 	// Dedupe by ID, last occurrence winning, preserving first-seen
 	// order for determinism.
 	order := make([]DocID, 0, len(docs))
@@ -302,6 +372,12 @@ func (s *Store) PutBatch(docs []*Document) error {
 	for _, idx := range idxs {
 		sh := s.shards[idx]
 		sh.mu.Lock()
+		if s.wal != nil {
+			if err := s.wal.appendRecord(idx, walRecord{Op: walOpPut, Docs: groups[idx]}); err != nil {
+				sh.mu.Unlock()
+				return err
+			}
+		}
 		for _, cp := range groups[idx] {
 			sh.putLocked(cp)
 			s.dir.Store(cp.ID, idx)
@@ -357,26 +433,36 @@ func (s *Store) Has(id DocID) bool {
 	return false
 }
 
-// Delete removes a document, reporting whether it existed.
+// Delete removes a document, reporting whether it existed. With a WAL
+// armed, a failed log append (counted under wal.append in the error
+// family) leaves the document in place and reports false.
 func (s *Store) Delete(id DocID) bool {
 	v, ok := s.dir.Load(id)
 	if !ok {
 		return false
 	}
-	sh := s.shards[v.(uint32)]
+	idx := v.(uint32)
+	sh := s.shards[idx]
 	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	d, present := sh.docs[id]
-	if present {
-		sh.removeLocked(d)
-		s.dir.Delete(id)
+	if !present {
+		return false
 	}
-	sh.mu.Unlock()
-	return present
+	if s.wal != nil {
+		if err := s.wal.appendRecord(idx, walRecord{Op: walOpDel, IDs: []DocID{id}}); err != nil {
+			return false
+		}
+	}
+	sh.removeLocked(d)
+	s.dir.Delete(id)
+	return true
 }
 
 // DeleteBatch removes many documents, taking each shard lock once per
 // shard. It returns how many of the IDs were present.
 func (s *Store) DeleteBatch(ids []DocID) int {
+	s.maybeCompact()
 	groups := make(map[uint32][]DocID)
 	for _, id := range ids {
 		if v, ok := s.dir.Load(id); ok {
@@ -393,6 +479,12 @@ func (s *Store) DeleteBatch(ids []DocID) int {
 	for _, idx := range idxs {
 		sh := s.shards[idx]
 		sh.mu.Lock()
+		if s.wal != nil {
+			if err := s.wal.appendRecord(idx, walRecord{Op: walOpDel, IDs: groups[idx]}); err != nil {
+				sh.mu.Unlock()
+				continue // this shard's deletes are skipped, not half-applied
+			}
+		}
 		for _, id := range groups[idx] {
 			if d, ok := sh.docs[id]; ok {
 				sh.removeLocked(d)
@@ -449,15 +541,6 @@ func (s *Store) Postings() int {
 		sh.mu.RUnlock()
 	}
 	return n
-}
-
-// CacheStats reports cumulative query-cache hits and misses across all
-// shards (zero/zero when caching is disabled).
-//
-// Deprecated: read Metrics() instead — counters index.cache_hits and
-// index.cache_misses. This view stays one release.
-func (s *Store) CacheStats() (hits, misses uint64) {
-	return uint64(s.hits.Value()), uint64(s.misses.Value())
 }
 
 // Search returns documents in the community whose indexed attributes

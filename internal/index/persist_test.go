@@ -2,6 +2,8 @@ package index
 
 import (
 	"bytes"
+	"encoding/json"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -85,4 +87,88 @@ func TestLoadErrors(t *testing.T) {
 	if err := s.Load(strings.NewReader(`{"version":1,"documents":[{"ID":""}]}`)); err == nil {
 		t.Error("document without ID accepted")
 	}
+}
+
+// TestLoadPoisonedSnapshotLeavesStoreIntact is the regression test
+// for the destructive-Load bug: Load used to clear every shard (and
+// the directory) before re-ingesting, so a snapshot that failed
+// validation mid-way left the store empty. Load now stages and swaps
+// only on success.
+func TestLoadPoisonedSnapshotLeavesStoreIntact(t *testing.T) {
+	s := seeded(t)
+	wantLen, wantPostings := s.Len(), s.Postings()
+	// A poisoned snapshot: valid version, one good document, then one
+	// with no ID.
+	poisoned := `{"version":1,"documents":[
+		{"ID":"good","CommunityID":"c","Title":"G","Attrs":{"k":["v"]}},
+		{"ID":"","CommunityID":"c","Title":"bad"}]}`
+	if err := s.Load(strings.NewReader(poisoned)); err == nil {
+		t.Fatal("poisoned snapshot accepted")
+	}
+	if s.Len() != wantLen || s.Postings() != wantPostings {
+		t.Fatalf("store damaged by failed load: len=%d (want %d) postings=%d (want %d)",
+			s.Len(), wantLen, s.Postings(), wantPostings)
+	}
+	if s.Has("good") {
+		t.Error("half of the failed snapshot was installed")
+	}
+	// The store still serves queries.
+	if got := len(s.Search("patterns", query.MustParse("(title=Observer)"), 0)); got != 1 {
+		t.Errorf("post-failure search = %d docs, want 1", got)
+	}
+}
+
+// TestSaveConsistentCut is the regression test for torn snapshots:
+// shard-by-shard locking let a concurrent cross-shard PutBatch appear
+// half-written. Save now read-locks every shard before copying, so
+// each batch is in a snapshot either wholly or not at all.
+func TestSaveConsistentCut(t *testing.T) {
+	s := NewStore(WithShards(8))
+	const comms = 8 // spread every batch across shards
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for k := 0; ; k++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			batch := make([]*Document, comms)
+			for c := range batch {
+				batch[c] = doc(
+					fmt.Sprintf("k%06d-c%d", k, c),
+					fmt.Sprintf("comm-%d", c),
+					fmt.Sprintf("batch %d", k),
+					map[string][]string{"k": {"v"}},
+				)
+			}
+			if err := s.PutBatch(batch); err != nil {
+				t.Errorf("put batch %d: %v", k, err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		var buf bytes.Buffer
+		if err := s.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		var snap snapshot
+		if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+			t.Fatal(err)
+		}
+		perBatch := make(map[string]int)
+		for _, d := range snap.Documents {
+			perBatch[string(d.ID[:7])]++
+		}
+		for k, n := range perBatch {
+			if n != comms {
+				t.Fatalf("snapshot %d tore batch %s: %d of %d docs", i, k, n, comms)
+			}
+		}
+	}
+	close(stop)
+	<-done
 }

@@ -1,0 +1,209 @@
+package index
+
+// Crash recovery: OpenStore rebuilds a WAL-backed store from its
+// directory — load the compacted snapshot, then replay every log
+// record in LSN order on top. See wal.go for the log format.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// OpenStore builds a store and, when WithWAL is configured, recovers
+// its durable state: the latest snapshot plus every acknowledged
+// write still in the log. A torn log tail (the half-written record a
+// crash leaves) is truncated at the first bad checksum and never
+// aborts startup; a corrupt snapshot does abort, since the snapshot
+// is written atomically and damage to it is real data loss, not a
+// torn tail.
+func OpenStore(opts ...Option) (*Store, error) {
+	cfg := defaultStoreConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	s := newStore(cfg)
+	if cfg.walDir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(cfg.walDir, 0o755); err != nil {
+		return nil, fmt.Errorf("index: open: %w", err)
+	}
+	w := &wal{
+		dir:          cfg.walDir,
+		policy:       cfg.walFsync,
+		segmentBytes: cfg.walSegmentBytes,
+		compactBytes: cfg.walCompactBytes,
+		appends:      s.reg.Counter("index.wal_appends"),
+		bytes:        s.reg.Counter("index.wal_bytes"),
+		replayed:     s.reg.Counter("index.wal_replayed"),
+		reg:          s.reg,
+	}
+	w.logs = make([]*shardLog, len(s.shards))
+	for i := range w.logs {
+		w.logs[i] = &shardLog{}
+	}
+	if err := s.recover(w); err != nil {
+		return nil, err
+	}
+	// Arm logging only after replay, so recovery's applies are not
+	// re-logged.
+	s.wal = w
+	return s, nil
+}
+
+// recover loads the snapshot and replays the log into s (whose WAL is
+// not yet armed), then positions w's append handles at the live tail
+// of each shard's newest segment.
+func (s *Store) recover(w *wal) error {
+	if f, err := os.Open(filepath.Join(w.dir, walSnapshotName)); err == nil {
+		lerr := s.Load(f)
+		f.Close()
+		if lerr != nil {
+			return fmt.Errorf("index: open: %w", lerr)
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return w.fail(errWALReplay, err)
+	}
+	recs, sizes, maxLSN, err := w.scanSegments()
+	if err != nil {
+		return err
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].LSN < recs[j].LSN })
+	for _, rec := range recs {
+		switch rec.Op {
+		case walOpPut:
+			if err := s.PutBatch(rec.Docs); err != nil {
+				return w.fail(errWALReplay, fmt.Errorf("apply record lsn=%d: %w", rec.LSN, err))
+			}
+		case walOpDel:
+			s.DeleteBatch(rec.IDs)
+		default:
+			// An unknown op from a future format: surface, don't guess.
+			return w.fail(errWALReplay, fmt.Errorf("record lsn=%d has unknown op %q", rec.LSN, rec.Op))
+		}
+	}
+	w.replayed.Add(int64(len(recs)))
+	w.lsn.Store(maxLSN)
+	// Reopen each shard's newest segment for appending; shards with no
+	// surviving segment get one lazily on first append (rotate).
+	var total int64
+	for idx := range w.logs {
+		seq, ok := sizes.newestSeq(idx)
+		if !ok {
+			continue
+		}
+		f, err := os.OpenFile(filepath.Join(w.dir, segmentName(idx, seq)), os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return w.fail(errWALReplay, err)
+		}
+		w.logs[idx].f = f
+		w.logs[idx].seq = seq
+		w.logs[idx].size = sizes[segKey{idx, seq}]
+	}
+	for _, n := range sizes {
+		total += n
+	}
+	w.total.Store(total)
+	return nil
+}
+
+type segKey struct {
+	shard int
+	seq   int
+}
+
+// segSizes maps each surviving segment to its post-truncation size.
+type segSizes map[segKey]int64
+
+// newestSeq returns the highest segment sequence recorded for shard.
+func (m segSizes) newestSeq(shard int) (int, bool) {
+	best, ok := 0, false
+	for k := range m {
+		if k.shard == shard && (!ok || k.seq > best) {
+			best, ok = k.seq, true
+		}
+	}
+	return best, ok
+}
+
+// scanSegments reads every record from every segment file, truncating
+// each file at its first bad frame (torn tail). It returns the
+// records, the surviving per-segment sizes, and the highest LSN seen.
+func (w *wal) scanSegments() ([]walRecord, segSizes, uint64, error) {
+	entries, err := os.ReadDir(w.dir)
+	if err != nil {
+		return nil, nil, 0, w.fail(errWALReplay, err)
+	}
+	var recs []walRecord
+	sizes := make(segSizes)
+	var maxLSN uint64
+	for _, e := range entries {
+		shard, seq, ok := parseSegmentName(e.Name())
+		if !ok {
+			continue
+		}
+		path := filepath.Join(w.dir, e.Name())
+		fileRecs, goodBytes, err := scanSegmentFile(path)
+		if err != nil {
+			return nil, nil, 0, w.fail(errWALReplay, err)
+		}
+		if fi, err := os.Stat(path); err == nil && fi.Size() > goodBytes {
+			// Torn or corrupt tail: count it, cut it, keep going.
+			w.reg.CountError(fmt.Errorf("%w: %s at offset %d", errWALCorrupt, e.Name(), goodBytes))
+			if err := os.Truncate(path, goodBytes); err != nil {
+				return nil, nil, 0, w.fail(errWALReplay, err)
+			}
+		}
+		sizes[segKey{shard, seq}] = goodBytes
+		for _, r := range fileRecs {
+			if r.LSN > maxLSN {
+				maxLSN = r.LSN
+			}
+		}
+		recs = append(recs, fileRecs...)
+	}
+	return recs, sizes, maxLSN, nil
+}
+
+// scanSegmentFile decodes records until EOF or the first bad frame,
+// returning the good records and how many bytes they span. IO errors
+// reading the file are returned; framing/checksum damage is not an
+// error — the caller truncates at goodBytes.
+func scanSegmentFile(path string) (recs []walRecord, goodBytes int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	var header [walHeaderSize]byte
+	for {
+		if _, err := io.ReadFull(f, header[:]); err != nil {
+			return recs, goodBytes, nil // clean EOF or torn header
+		}
+		length := binary.LittleEndian.Uint32(header[0:4])
+		sum := binary.LittleEndian.Uint32(header[4:8])
+		if length > walMaxRecord {
+			return recs, goodBytes, nil // corrupt length
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return recs, goodBytes, nil // torn payload
+		}
+		if crc32.Checksum(payload, walCRC) != sum {
+			return recs, goodBytes, nil // flipped bits
+		}
+		var rec walRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return recs, goodBytes, nil // checksummed garbage: treat as cut
+		}
+		recs = append(recs, rec)
+		goodBytes += int64(walHeaderSize) + int64(length)
+	}
+}

@@ -206,11 +206,12 @@ func TestCacheInvalidationOnWrite(t *testing.T) {
 	if got := len(s.Search("c", f, 0)); got != 1 {
 		t.Fatalf("initial search = %d docs, want 1", got)
 	}
-	_, misses0 := s.CacheStats()
+	misses0 := s.Metrics().Snapshot().Counter("index.cache_misses")
 	if got := len(s.Search("c", f, 0)); got != 1 {
 		t.Fatalf("repeat search = %d docs, want 1", got)
 	}
-	hits1, misses1 := s.CacheStats()
+	snap := s.Metrics().Snapshot()
+	hits1, misses1 := snap.Counter("index.cache_hits"), snap.Counter("index.cache_misses")
 	if hits1 == 0 {
 		t.Error("repeat of identical query did not hit the cache")
 	}

@@ -85,16 +85,16 @@ func TestFastTrackLocalSuperPeerAnswers(t *testing.T) {
 func TestFastTrackFloodBoundedToSuperOverlay(t *testing.T) {
 	f := newFTFixture(t, 4, 4) // 4 supers, 16 leaves
 	f.leaves[0].Publish(doc("d", "c", "T", map[string]string{"k": "v"}))
-	f.net.ResetStats()
+	before := f.net.Metrics().Snapshot()
 	if _, err := f.leaves[1].Search("c", query.MustParse("(k=v)"), SearchOptions{}); err != nil {
 		t.Fatal(err)
 	}
-	st := f.net.Stats()
+	msgs := f.net.Metrics().Snapshot().Delta(before).Counter("transport.msgs_delivered")
 	// Query flooding happens only among the 4 super-peers; with 16
 	// leaves a full Gnutella flood would be far larger. Search round
 	// trip (2) + ring flood (<= 2*4 queries + hits).
-	if st.Messages > 16 {
-		t.Errorf("messages = %d, super-peer flood should be small", st.Messages)
+	if msgs > 16 {
+		t.Errorf("messages = %d, super-peer flood should be small", msgs)
 	}
 }
 

@@ -281,25 +281,25 @@ func TestGnutellaDuplicateSuppressionInCycle(t *testing.T) {
 		t.Errorf("results in ring = %+v", rs)
 	}
 	// And the message count must be bounded (no infinite loop):
-	st := net.Stats()
-	if st.Messages > 20 {
-		t.Errorf("too many messages in ring: %d", st.Messages)
+	msgs := net.Metrics().Snapshot().Counter("transport.msgs_delivered")
+	if msgs > 20 {
+		t.Errorf("too many messages in ring: %d", msgs)
 	}
 }
 
 func TestGnutellaMessageCostGrowsWithTTL(t *testing.T) {
 	f := newGnutellaLine(t, 10)
-	f.net.ResetStats()
+	base := f.net.Metrics().Snapshot()
 	_, err := f.nodes[0].Search("c", query.MustParse("(k=v)"), SearchOptions{TTL: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	low := f.net.Stats().Messages
-	f.net.ResetStats()
+	mid := f.net.Metrics().Snapshot()
+	low := mid.Delta(base).Counter("transport.msgs_delivered")
 	if _, err = f.nodes[0].Search("c", query.MustParse("(k=v)"), SearchOptions{TTL: 9}); err != nil {
 		t.Fatal(err)
 	}
-	high := f.net.Stats().Messages
+	high := f.net.Metrics().Snapshot().Delta(mid).Counter("transport.msgs_delivered")
 	if high <= low {
 		t.Errorf("messages TTL9 (%d) not > TTL2 (%d)", high, low)
 	}

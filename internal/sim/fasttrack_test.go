@@ -61,14 +61,14 @@ func TestFastTrackCostBetweenExtremes(t *testing.T) {
 		if _, err := c.PublishRoundRobin(comm.ID, corpus.DesignPatterns(23, 7).Objects); err != nil {
 			t.Fatal(err)
 		}
-		c.ResetStats()
+		before := c.Metrics()
 		const q = 5
 		for i := 0; i < q; i++ {
 			if _, err := c.SearchFrom(i, comm.ID, query.MustParse("(classification=behavioral)"), p2p.SearchOptions{TTL: 7}); err != nil {
 				t.Fatal(err)
 			}
 		}
-		return float64(c.Stats().Messages) / q
+		return float64(c.Metrics().Delta(before).Counter("transport.msgs_delivered")) / q
 	}
 	central := cost(Centralized)
 	ft := cost(FastTrack)

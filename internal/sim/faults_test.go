@@ -69,14 +69,14 @@ func TestCentralizedLatencyAccounting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	net.ResetStats()
+	before := net.Metrics().Snapshot()
 	if _, err := sv.Search(core.RootCommunityID, query.MatchAll{}, p2p.SearchOptions{}); err != nil {
 		t.Fatal(err)
 	}
-	stats := net.Stats()
+	simLat := net.Metrics().Snapshot().Delta(before).Counter("transport.sim_latency_ns")
 	// One search = request + reply = 2 hops = 20ms simulated.
-	if stats.SimulatedLatency != int64(20*time.Millisecond) {
-		t.Errorf("simulated latency = %v", time.Duration(stats.SimulatedLatency))
+	if simLat != int64(20*time.Millisecond) {
+		t.Errorf("simulated latency = %v", time.Duration(simLat))
 	}
 }
 

@@ -476,18 +476,6 @@ func (c *Cluster) Metrics() *metrics.Snapshot { return c.reg.Snapshot() }
 // want to resolve handles (scenario drivers) or serve it over HTTP.
 func (c *Cluster) Registry() *metrics.Registry { return c.reg }
 
-// Stats snapshots the network counters.
-//
-// Deprecated: use Metrics() — the transport.* counter names are listed
-// on transport.Stats. This view stays one release.
-func (c *Cluster) Stats() transport.Stats { return c.Net.Stats() }
-
-// ResetStats zeroes the counters between phases.
-//
-// Deprecated: snapshot Metrics() before a phase and use Snapshot.Delta
-// instead. This shim stays one release.
-func (c *Cluster) ResetStats() { c.Net.ResetStats() }
-
 // SeedCommunity creates a community at the given peer.
 func (c *Cluster) SeedCommunity(creator int, spec core.CommunitySpec) (*core.Community, error) {
 	return c.Servents[creator].CreateCommunity(spec)

@@ -144,16 +144,16 @@ func TestStatsAccounting(t *testing.T) {
 	if _, err := c.SeedCommunity(0, spec()); err != nil {
 		t.Fatal(err)
 	}
-	c.ResetStats()
+	before := c.Metrics()
 	if _, err := c.SearchFrom(0, core.RootCommunityID, query.MatchAll{}, p2p.SearchOptions{TTL: 5}); err != nil {
 		t.Fatal(err)
 	}
-	st := c.Stats()
-	if st.Messages == 0 {
+	d := c.Metrics().Delta(before)
+	if d.Counter("transport.msgs_delivered") == 0 {
 		t.Error("no messages counted for flood search")
 	}
-	if st.PerType[p2p.MsgQuery] == 0 {
-		t.Errorf("no query messages: %v", st.PerType)
+	if d.Label("transport.msgs_by_type", p2p.MsgQuery) == 0 {
+		t.Errorf("no query messages: %v", d.Labeled["transport.msgs_by_type"])
 	}
 }
 

@@ -151,29 +151,6 @@ func (n *MemNetwork) Heal(a, b PeerID) {
 	delete(n.parts, pairKey(a, b))
 }
 
-// Stats returns a copy of the accounting counters.
-//
-// Deprecated: read Metrics() instead (the transport.* counter names
-// are listed on the Stats struct). This view stays one release.
-func (n *MemNetwork) Stats() Stats {
-	return Stats{
-		Messages:         n.mDelivered.Value(),
-		Bytes:            n.mBytes.Value(),
-		Dropped:          n.mDropped.Value(),
-		PerType:          n.mPerType.Values(),
-		SimulatedLatency: n.mSimLat.Value(),
-	}
-}
-
-// ResetStats zeroes the counters (between experiment phases).
-//
-// Deprecated: snapshot Metrics() before a phase and use
-// Snapshot.Delta instead of resetting shared state. This shim zeroes
-// every transport.* metric in the registry and stays one release.
-func (n *MemNetwork) ResetStats() {
-	n.reg.ResetPrefix("transport.")
-}
-
 // MaxPathLatency returns the largest cumulative virtual latency any
 // delivery chain has reached since the last ResetPath. With a latency
 // model installed, ResetPath before a synchronous operation and

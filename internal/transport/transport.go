@@ -10,7 +10,6 @@ package transport
 
 import (
 	"errors"
-	"fmt"
 
 	"repro/internal/errs"
 )
@@ -69,31 +68,4 @@ var (
 // routing-table repair treats it as an authoritative death notice.
 func IsPeerDead(err error) bool {
 	return errors.Is(err, ErrUnknownPeer) || errors.Is(err, ErrClosed)
-}
-
-// Stats is a snapshot of network-wide accounting, the raw material of
-// the protocol-cost experiments (E3).
-//
-// Deprecated: Stats is a legacy view over the metrics registry. Read
-// MemNetwork.Metrics() (a *metrics.Registry) instead: the counters are
-// transport.msgs_delivered, transport.bytes_delivered,
-// transport.msgs_dropped, transport.sim_latency_ns, and the
-// transport.msgs_by_type{type} family. The struct and the
-// MemNetwork.Stats()/ResetStats() accessors remain for one release.
-type Stats struct {
-	// Messages is the total number of delivered messages.
-	Messages int64
-	// Bytes is the total payload bytes delivered.
-	Bytes int64
-	// Dropped counts messages lost to fault injection.
-	Dropped int64
-	// PerType counts deliveries by message type.
-	PerType map[string]int64
-	// SimulatedLatency is the sum of per-hop model latencies, allowing
-	// mean-hop-latency computation without real sleeping.
-	SimulatedLatency int64 // nanoseconds
-}
-
-func (s Stats) String() string {
-	return fmt.Sprintf("msgs=%d bytes=%d dropped=%d", s.Messages, s.Bytes, s.Dropped)
 }

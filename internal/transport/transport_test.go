@@ -94,19 +94,19 @@ func TestMemStats(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	st := net.Stats()
-	if st.Messages != 3 || st.Bytes != 12 {
-		t.Errorf("stats = %+v", st)
+	snap := net.Metrics().Snapshot()
+	if m, by := snap.Counter("transport.msgs_delivered"), snap.Counter("transport.bytes_delivered"); m != 3 || by != 12 {
+		t.Errorf("msgs=%d bytes=%d, want 3/12", m, by)
 	}
-	if st.PerType["query"] != 3 {
-		t.Errorf("per-type = %v", st.PerType)
+	if q := snap.Label("transport.msgs_by_type", "query"); q != 3 {
+		t.Errorf("per-type query = %d", q)
 	}
-	if st.SimulatedLatency != int64(15*time.Millisecond) {
-		t.Errorf("latency = %v", st.SimulatedLatency)
+	if lat := snap.Counter("transport.sim_latency_ns"); lat != int64(15*time.Millisecond) {
+		t.Errorf("latency = %d", lat)
 	}
-	net.ResetStats()
-	if net.Stats().Messages != 0 {
-		t.Error("reset failed")
+	// Phase accounting is snapshot deltas, not resets.
+	if d := net.Metrics().Snapshot().Delta(snap).Counter("transport.msgs_delivered"); d != 0 {
+		t.Errorf("quiet-period delta = %d", d)
 	}
 }
 

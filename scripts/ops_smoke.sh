@@ -1,26 +1,33 @@
 #!/bin/sh
 # ops-smoke: boot an up2pd daemon, scrape the ops surface, and assert
-# the output is well-formed. Run via `make ops-smoke`.
+# the output is well-formed; then prove that a SIGTERM'd daemon
+# persists its state and a restart restores it. Run via
+# `make ops-smoke`.
 set -eu
 
 bin="$1"
 p2p=127.0.0.1:7971
 http=127.0.0.1:8971
+pid=
+state=
+trap '[ -n "$pid" ] && kill "$pid" 2>/dev/null; [ -n "$state" ] && rm -rf "$state"' EXIT
+
+# wait_health blocks until $1 serves /healthz (5s budget).
+wait_health() {
+    i=0
+    until curl -sf "http://$1/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -ge 50 ]; then
+            echo "ops-smoke: daemon never served /healthz on $1" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
 
 "$bin" -mode gnutella -p2p "$p2p" -http "$http" -seed designpatterns &
 pid=$!
-trap 'kill "$pid" 2>/dev/null || true' EXIT
-
-# Wait for the ops surface to come up (5s budget).
-i=0
-until curl -sf "http://$http/healthz" >/dev/null 2>&1; do
-    i=$((i + 1))
-    if [ "$i" -ge 50 ]; then
-        echo "ops-smoke: daemon never served /healthz" >&2
-        exit 1
-    fi
-    sleep 0.1
-done
+wait_health "$http"
 
 echo "== /healthz"
 health=$(curl -sf "http://$http/healthz")
@@ -41,5 +48,52 @@ echo "== /metrics?format=json"
 json=$(curl -sf "http://$http/metrics?format=json")
 echo "$json" | jq -e '."index.docs" >= 1' >/dev/null
 echo "$json" | jq -e '."p2p.publishes{protocol=gnutella}" >= 1' >/dev/null
+
+kill "$pid"
+wait "$pid" || true
+pid=
+
+echo "== SIGTERM persistence round trip (WAL)"
+state=$(mktemp -d)
+p2p2=127.0.0.1:7972
+http2=127.0.0.1:8972
+
+"$bin" -mode gnutella -p2p "$p2p2" -http "$http2" -seed designpatterns -state "$state" -wal &
+pid=$!
+wait_health "$http2"
+docs=$(curl -sf "http://$http2/healthz" | jq -e '.docs')
+[ "$docs" -ge 1 ]
+
+# SIGTERM (what systemd/docker send) must save state before exit.
+kill -TERM "$pid"
+i=0
+while kill -0 "$pid" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "ops-smoke: daemon did not exit on SIGTERM" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+pid=
+[ -f "$state/servent.json" ] || { echo "ops-smoke: no servent.json after TERM" >&2; exit 1; }
+[ -f "$state/wal/snapshot.json" ] || { echo "ops-smoke: no wal snapshot after TERM" >&2; exit 1; }
+
+# Restart without -seed on fresh ports: every object must come back.
+"$bin" -mode gnutella -p2p 127.0.0.1:7973 -http 127.0.0.1:8973 -state "$state" -wal &
+pid=$!
+wait_health 127.0.0.1:8973
+restored=$(curl -sf "http://127.0.0.1:8973/healthz" | jq -e '.docs')
+if [ "$restored" -ne "$docs" ]; then
+    echo "ops-smoke: restored $restored docs, want $docs" >&2
+    exit 1
+fi
+echo "persisted and restored $docs objects across SIGTERM"
+
+# Let the restarted daemon shut down before the trap removes its
+# state directory out from under the final compaction.
+kill -TERM "$pid"
+wait "$pid" || true
+pid=
 
 echo "ops-smoke: OK"
