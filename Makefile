@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race fmt vet bench-smoke determinism sim-smoke ops-smoke crash-smoke ci
+.PHONY: build test race fmt vet bench-smoke determinism sim-smoke ops-smoke crash-smoke trace-smoke profile-smoke ci
 
 build:
 	$(GO) build ./...
@@ -55,10 +55,24 @@ ops-smoke:
 	$(GO) build -o /tmp/up2pd-ops-smoke ./cmd/up2pd
 	sh scripts/ops_smoke.sh /tmp/up2pd-ops-smoke
 
+# Tracing smoke: boot up2pd with full trace sampling, issue a traced
+# query through the web search path, and assert /debug/traces serves a
+# well-formed span tree (needs curl + jq).
+trace-smoke:
+	$(GO) build -o /tmp/up2pd-trace-smoke ./cmd/up2pd
+	sh scripts/trace_smoke.sh /tmp/up2pd-trace-smoke
+
+# Profiling smoke: boot up2pd with -debug-addr, pull a heap profile
+# off the pprof listener, and assert the public ops address does not
+# expose it (needs curl).
+profile-smoke:
+	$(GO) build -o /tmp/up2pd-profile-smoke ./cmd/up2pd
+	sh scripts/profile_smoke.sh /tmp/up2pd-profile-smoke
+
 # Durability gate: the kill-at-random-offset and recovery tests under
 # the race detector. Catches both torn-log regressions and data races
 # on the WAL append path.
 crash-smoke:
 	$(GO) test -race -count=1 -run 'WAL|Crash|Poisoned|ConsistentCut|CorruptMiddle' ./internal/index ./internal/core
 
-ci: build fmt vet test race bench-smoke determinism sim-smoke ops-smoke crash-smoke
+ci: build fmt vet test race bench-smoke determinism sim-smoke ops-smoke trace-smoke profile-smoke crash-smoke

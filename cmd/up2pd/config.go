@@ -3,6 +3,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"strconv"
 	"strings"
 
@@ -47,6 +49,21 @@ type Config struct {
 	// loss) or "os" (page-cache flushing; survives process crash
 	// only). Env: UP2P_FSYNC.
 	Fsync string
+	// TraceSample is the head-based trace sampling rate in [0,1]: that
+	// fraction of queries this daemon roots become recorded span trees
+	// on /debug/traces. 0 (default) disables tracing entirely — the
+	// zero-allocation nil-tracer path. Env: UP2P_TRACE_SAMPLE.
+	TraceSample float64
+	// DebugAddr, when set, serves net/http/pprof on its own listener
+	// (separate from the public HTTP address, so profiling stays
+	// operator-only). Empty (default) disables it. Env: UP2P_DEBUG.
+	DebugAddr string
+	// LogFormat selects the slog handler: "text" (default) or "json".
+	// Env: UP2P_LOG_FORMAT.
+	LogFormat string
+	// LogLevel is the minimum level logged: debug | info | warn |
+	// error (default info). Env: UP2P_LOG_LEVEL.
+	LogLevel string
 }
 
 // LoadConfig parses args (without the program name), filling unset
@@ -75,6 +92,14 @@ func LoadConfig(args []string, getenv func(string) string) (Config, error) {
 		}
 		walDefault = b
 	}
+	sampleDefault := 0.0
+	if v := getenv("UP2P_TRACE_SAMPLE"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return Config{}, fmt.Errorf("UP2P_TRACE_SAMPLE: %v", err)
+		}
+		sampleDefault = f
+	}
 
 	var cfg Config
 	fs := flag.NewFlagSet("up2pd", flag.ContinueOnError)
@@ -88,6 +113,10 @@ func LoadConfig(args []string, getenv func(string) string) (Config, error) {
 	fs.StringVar(&cfg.StateDir, "state", env("UP2P_STATE", ""), "directory for persistent state, loaded at start and saved on shutdown (env UP2P_STATE)")
 	fs.BoolVar(&cfg.WAL, "wal", walDefault, "write-ahead log the store under <state>/wal: acked writes survive crashes (env UP2P_WAL)")
 	fs.StringVar(&cfg.Fsync, "fsync", env("UP2P_FSYNC", string(index.FsyncAlways)), "WAL fsync policy: always | os (env UP2P_FSYNC)")
+	fs.Float64Var(&cfg.TraceSample, "trace-sample", sampleDefault, "per-query trace sampling rate in [0,1]; 0 disables tracing (env UP2P_TRACE_SAMPLE)")
+	fs.StringVar(&cfg.DebugAddr, "debug-addr", env("UP2P_DEBUG", ""), "separate listener for net/http/pprof; empty disables (env UP2P_DEBUG)")
+	fs.StringVar(&cfg.LogFormat, "log-format", env("UP2P_LOG_FORMAT", "text"), "log output format: text | json (env UP2P_LOG_FORMAT)")
+	fs.StringVar(&cfg.LogLevel, "log-level", env("UP2P_LOG_LEVEL", "info"), "minimum log level: debug | info | warn | error (env UP2P_LOG_LEVEL)")
 	if err := fs.Parse(args); err != nil {
 		return Config{}, err
 	}
@@ -128,5 +157,36 @@ func (c Config) Validate() error {
 	if _, err := index.ParseFsyncPolicy(c.Fsync); err != nil {
 		return err
 	}
+	if c.TraceSample < 0 || c.TraceSample > 1 {
+		return fmt.Errorf("trace-sample must be in [0,1], got %g", c.TraceSample)
+	}
+	switch c.LogFormat {
+	case "text", "json":
+	default:
+		return fmt.Errorf("unknown log format %q (want text or json)", c.LogFormat)
+	}
+	if _, err := parseLogLevel(c.LogLevel); err != nil {
+		return err
+	}
 	return nil
+}
+
+// parseLogLevel maps the -log-level string onto a slog.Level.
+func parseLogLevel(s string) (slog.Level, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(s)); err != nil {
+		return 0, fmt.Errorf("unknown log level %q (want debug, info, warn, or error)", s)
+	}
+	return lvl, nil
+}
+
+// Logger builds the daemon logger the config describes, writing to w.
+// Validate has already vetted format and level.
+func (c Config) Logger(w io.Writer) *slog.Logger {
+	lvl, _ := parseLogLevel(c.LogLevel)
+	opts := &slog.HandlerOptions{Level: lvl}
+	if c.LogFormat == "json" {
+		return slog.New(slog.NewJSONHandler(w, opts))
+	}
+	return slog.New(slog.NewTextHandler(w, opts))
 }

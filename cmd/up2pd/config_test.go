@@ -119,3 +119,52 @@ func TestLoadConfigWALValidation(t *testing.T) {
 		t.Fatal("bad UP2P_WAL accepted")
 	}
 }
+
+func TestLoadConfigObservabilityFlags(t *testing.T) {
+	// Defaults: tracing off, no debug listener, text logs at info.
+	cfg, err := LoadConfig([]string{"-mode", "gnutella"}, envMap(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.TraceSample != 0 || cfg.DebugAddr != "" || cfg.LogFormat != "text" || cfg.LogLevel != "info" {
+		t.Fatalf("unexpected observability defaults: %+v", cfg)
+	}
+	// Flag form.
+	cfg, err = LoadConfig([]string{"-mode", "gnutella", "-trace-sample", "0.25",
+		"-debug-addr", "127.0.0.1:6060", "-log-format", "json", "-log-level", "debug"}, envMap(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.TraceSample != 0.25 || cfg.DebugAddr != "127.0.0.1:6060" || cfg.LogFormat != "json" || cfg.LogLevel != "debug" {
+		t.Fatalf("observability flags not applied: %+v", cfg)
+	}
+	// Env form.
+	cfg, err = LoadConfig([]string{"-mode", "gnutella"}, envMap(map[string]string{
+		"UP2P_TRACE_SAMPLE": "0.5",
+		"UP2P_DEBUG":        "127.0.0.1:6061",
+		"UP2P_LOG_FORMAT":   "json",
+		"UP2P_LOG_LEVEL":    "warn",
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.TraceSample != 0.5 || cfg.DebugAddr != "127.0.0.1:6061" || cfg.LogFormat != "json" || cfg.LogLevel != "warn" {
+		t.Fatalf("observability env not applied: %+v", cfg)
+	}
+}
+
+func TestLoadConfigObservabilityValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-mode", "gnutella", "-trace-sample", "1.5"},
+		{"-mode", "gnutella", "-trace-sample", "-0.1"},
+		{"-mode", "gnutella", "-log-format", "xml"},
+		{"-mode", "gnutella", "-log-level", "loud"},
+	} {
+		if _, err := LoadConfig(args, envMap(nil)); err == nil {
+			t.Errorf("LoadConfig(%q) accepted invalid config", args)
+		}
+	}
+	if _, err := LoadConfig(nil, envMap(map[string]string{"UP2P_TRACE_SAMPLE": "lots"})); err == nil {
+		t.Fatal("malformed UP2P_TRACE_SAMPLE accepted")
+	}
+}

@@ -5,7 +5,11 @@
 // Configuration is flags with UP2P_* environment-variable fallbacks
 // (flag > env > default; see LoadConfig). Every mode serves an ops
 // surface on the HTTP address: /metrics (Prometheus text, or
-// expvar-style JSON with ?format=json) and /healthz.
+// expvar-style JSON with ?format=json), /healthz, and /debug/traces
+// (recent and slowest query span trees once -trace-sample is set).
+// -debug-addr additionally serves net/http/pprof on a separate,
+// operator-only listener. Logging is structured (log/slog) with
+// -log-format text|json and -log-level.
 //
 // Topology bootstrapping:
 //
@@ -27,8 +31,9 @@ package main
 import (
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -38,11 +43,13 @@ import (
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/dht"
+	"repro/internal/errs"
 	"repro/internal/index"
 	"repro/internal/metrics"
 	"repro/internal/p2p"
 	"repro/internal/query"
 	"repro/internal/servent"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
@@ -58,6 +65,8 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	logger := cfg.Logger(os.Stderr)
+	slog.SetDefault(logger)
 
 	// One registry for the whole daemon: transport, protocol node,
 	// store, and error telemetry aggregate here and are served on
@@ -70,7 +79,37 @@ func run() error {
 		return err
 	}
 	node.SetMetrics(reg)
-	log.Printf("p2p listening on %s", node.ID())
+	logger.Info("p2p listening", "peer", string(node.ID()), "mode", cfg.Mode)
+
+	// Tracing: one tracer for the whole daemon, sampled at the
+	// configured rate; the collector behind /debug/traces assembles
+	// this node's spans (trees rooted elsewhere show as partial).
+	// With -trace-sample 0 the tracer stays nil — the zero-allocation
+	// disabled state — and /debug/traces just serves zero traces.
+	collector := trace.NewCollector()
+	var tracer *trace.Tracer
+	if cfg.TraceSample > 0 {
+		tracer = trace.New(string(node.ID()), cfg.Mode, trace.WithSampling(cfg.TraceSample))
+		collector.Attach(tracer)
+		logger.Info("tracing enabled", "sample", cfg.TraceSample)
+	}
+
+	// pprof rides its own listener so profiling is never exposed on
+	// the public web/ops address.
+	if cfg.DebugAddr != "" {
+		dbg := http.NewServeMux()
+		dbg.HandleFunc("/debug/pprof/", pprof.Index)
+		dbg.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dbg.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			if err := http.ListenAndServe(cfg.DebugAddr, dbg); err != nil {
+				logger.Error("debug listener failed", "addr", cfg.DebugAddr, "err", err)
+			}
+		}()
+		logger.Info("pprof debug surface", "addr", cfg.DebugAddr)
+	}
 
 	base := func() health {
 		return health{Status: "ok", Mode: cfg.Mode, Peer: string(node.ID()), Uptime: uptimeSince(start)}
@@ -83,11 +122,12 @@ func run() error {
 
 	switch cfg.Mode {
 	case "indexserver":
-		store, err := openStore(cfg, reg)
+		store, err := openStore(cfg, reg, logger)
 		if err != nil {
 			return err
 		}
 		is := p2p.NewIndexServerOn(node, store)
+		is.SetTracer(tracer)
 		healthFn = func() health {
 			h := base()
 			h.Docs = is.Len()
@@ -104,6 +144,7 @@ func run() error {
 		}
 	case "superpeer":
 		sp := p2p.NewSuperPeer(node)
+		sp.SetTracer(tracer)
 		for _, n := range cfg.Neighbors {
 			sp.AddNeighbor(transport.PeerID(n))
 		}
@@ -115,14 +156,14 @@ func run() error {
 		}
 		cleanup = sp.Close
 	default:
-		sv, hf, err := buildServent(cfg, node, reg, base)
+		sv, hf, err := buildServent(cfg, node, reg, tracer, logger, base)
 		if err != nil {
 			return err
 		}
 		if cfg.StateDir != "" {
 			defer func() {
-				if err := saveState(sv, cfg); err != nil {
-					log.Printf("save state: %v", err)
+				if err := saveState(sv, cfg, logger); err != nil {
+					logger.Error("save state failed", "dir", cfg.StateDir, "err", err, "code", errs.Code(err))
 				}
 			}()
 		}
@@ -137,11 +178,12 @@ func run() error {
 			}
 			return err
 		}
-		log.Printf("web interface on http://%s/", cfg.HTTPAddr)
+		logger.Info("web interface up", "url", "http://"+cfg.HTTPAddr+"/")
 	}
 
-	log.Printf("ops surface on http://%s/metrics and /healthz", cfg.HTTPAddr)
-	srv := &http.Server{Addr: cfg.HTTPAddr, Handler: opsMux(reg, healthFn, app)}
+	logger.Info("ops surface up", "addr", cfg.HTTPAddr,
+		"endpoints", "/metrics /healthz /debug/traces")
+	srv := &http.Server{Addr: cfg.HTTPAddr, Handler: opsMux(reg, healthFn, trace.Handler(collector), app)}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 
@@ -154,17 +196,17 @@ func run() error {
 		_ = cleanup()
 		return err
 	case <-intc:
-		log.Printf("shutting down")
+		logger.Info("shutting down")
 		_ = srv.Close()
 		return cleanup()
 	}
 }
 
 // buildServent wires a servent-mode P2P node (centralized, gnutella,
-// fasttrack, dht) onto the shared registry and returns it with its
-// mode-specific health callback.
-func buildServent(cfg Config, node *transport.TCPNode, reg *metrics.Registry, base func() health) (*core.Servent, func() health, error) {
-	store, err := openStore(cfg, reg)
+// fasttrack, dht) onto the shared registry and tracer, and returns it
+// with its mode-specific health callback.
+func buildServent(cfg Config, node *transport.TCPNode, reg *metrics.Registry, tracer *trace.Tracer, logger *slog.Logger, base func() health) (*core.Servent, func() health, error) {
+	store, err := openStore(cfg, reg, logger)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -174,6 +216,7 @@ func buildServent(cfg Config, node *transport.TCPNode, reg *metrics.Registry, ba
 	case "centralized":
 		client := p2p.NewCentralizedClient(node, transport.PeerID(cfg.Server), store)
 		client.SetMetrics(reg)
+		client.SetTracer(tracer)
 		network = client
 		healthFn = func() health {
 			h := base()
@@ -185,6 +228,7 @@ func buildServent(cfg Config, node *transport.TCPNode, reg *metrics.Registry, ba
 	case "fasttrack":
 		leaf := p2p.NewFastTrackLeaf(node, transport.PeerID(cfg.Server), store)
 		leaf.SetMetrics(reg)
+		leaf.SetTracer(tracer)
 		network = leaf
 		healthFn = func() health {
 			h := base()
@@ -196,12 +240,13 @@ func buildServent(cfg Config, node *transport.TCPNode, reg *metrics.Registry, ba
 	case "gnutella":
 		g := p2p.NewGnutellaNode(node, store)
 		g.SetMetrics(reg)
+		g.SetTracer(tracer)
 		for _, n := range cfg.Neighbors {
 			g.AddNeighbor(transport.PeerID(n))
 		}
 		// Grow the overlay beyond the bootstrap list via Ping/Pong.
 		if found := g.Discover(3); len(found) > 0 {
-			log.Printf("discovered %d additional peers via ping/pong", len(found))
+			logger.Info("discovered peers via ping/pong", "count", len(found))
 		}
 		network = g
 		healthFn = func() health {
@@ -213,6 +258,7 @@ func buildServent(cfg Config, node *transport.TCPNode, reg *metrics.Registry, ba
 	case "dht":
 		d := dht.NewNode(node, store, dht.Config{})
 		d.SetMetrics(reg)
+		d.SetTracer(tracer)
 		var boot []transport.PeerID
 		for _, n := range cfg.Neighbors {
 			boot = append(boot, transport.PeerID(n))
@@ -220,7 +266,7 @@ func buildServent(cfg Config, node *transport.TCPNode, reg *metrics.Registry, ba
 		// The Kademlia join (self-lookup off the bootstrap contacts)
 		// populates the routing table before the servent starts.
 		d.Bootstrap(boot...)
-		log.Printf("dht joined via %d bootstrap contacts; %d routing contacts", len(boot), d.TableLen())
+		logger.Info("dht joined", "bootstrap_contacts", len(boot), "routing_contacts", d.TableLen())
 		// Periodic maintenance: without it every record this daemon
 		// publishes would expire at RecordTTL and dead contacts would
 		// linger. The simulator paces this on the virtual clock
@@ -251,8 +297,12 @@ func buildServent(cfg Config, node *transport.TCPNode, reg *metrics.Registry, ba
 	if err != nil {
 		return nil, nil, err
 	}
+	// The servent roots a trace per web-interface search and logs
+	// failed searches with their errs code and trace ID.
+	sv.SetTracer(tracer)
+	sv.SetLogger(logger)
 	if cfg.StateDir != "" {
-		if err := loadState(sv, cfg); err != nil {
+		if err := loadState(sv, cfg, logger); err != nil {
 			return nil, nil, err
 		}
 	}
@@ -260,7 +310,7 @@ func buildServent(cfg Config, node *transport.TCPNode, reg *metrics.Registry, ba
 		if err := seedCommunity(sv, cfg.Seed, cfg.SeedN); err != nil {
 			return nil, nil, err
 		}
-		log.Printf("seeded %d %s objects", cfg.SeedN, cfg.Seed)
+		logger.Info("seeded demo community", "community", cfg.Seed, "objects", cfg.SeedN)
 	}
 	return sv, healthFn, nil
 }
@@ -290,8 +340,8 @@ func seedCommunity(sv *core.Servent, name string, n int) error {
 // openStore builds the daemon's metadata store: WAL-backed (crash
 // recovery runs inside OpenStore) when -wal is set, plain in-memory
 // otherwise.
-func openStore(cfg Config, reg *metrics.Registry) (*index.Store, error) {
-	opts := []index.Option{index.WithMetrics(reg)}
+func openStore(cfg Config, reg *metrics.Registry, logger *slog.Logger) (*index.Store, error) {
+	opts := []index.Option{index.WithMetrics(reg), index.WithLogger(logger)}
 	if cfg.WAL {
 		policy, err := index.ParseFsyncPolicy(cfg.Fsync)
 		if err != nil {
@@ -303,7 +353,7 @@ func openStore(cfg Config, reg *metrics.Registry) (*index.Store, error) {
 		if err != nil {
 			return nil, err
 		}
-		log.Printf("wal open in %s (fsync=%s): %d objects recovered", dir, policy, store.Len())
+		logger.Info("wal open", "dir", dir, "fsync", string(policy), "objects_recovered", store.Len())
 		return store, nil
 	}
 	return index.NewStore(opts...), nil
@@ -317,14 +367,14 @@ func walDir(cfg Config) string { return filepath.Join(cfg.StateDir, "wal") }
 // WAL enabled the store was already recovered by openStore, so only
 // the servent state file is read; either way restored objects are
 // re-announced to the network.
-func loadState(sv *core.Servent, cfg Config) error {
+func loadState(sv *core.Servent, cfg Config, logger *slog.Logger) error {
 	stateFile := filepath.Join(cfg.StateDir, "servent.json")
 	if f, err := os.Open(stateFile); err == nil {
 		defer f.Close()
 		if err := sv.LoadState(f); err != nil {
 			return err
 		}
-		log.Printf("restored servent state from %s", stateFile)
+		logger.Info("restored servent state", "file", stateFile)
 	}
 	if !cfg.WAL {
 		storeFile := filepath.Join(cfg.StateDir, "store.json")
@@ -333,7 +383,7 @@ func loadState(sv *core.Servent, cfg Config) error {
 			if err := sv.Store().Load(f); err != nil {
 				return err
 			}
-			log.Printf("restored %d objects from %s", sv.Store().Len(), storeFile)
+			logger.Info("restored store snapshot", "file", storeFile, "objects", sv.Store().Len())
 		}
 	}
 	// Re-announce restored objects (from store.json or WAL recovery).
@@ -350,7 +400,7 @@ func loadState(sv *core.Servent, cfg Config) error {
 // saveState writes servent state (and, without a WAL, the store
 // snapshot) into the state directory. A WAL-backed store persists
 // through Close instead: clean shutdown compacts the log.
-func saveState(sv *core.Servent, cfg Config) error {
+func saveState(sv *core.Servent, cfg Config, logger *slog.Logger) error {
 	if err := os.MkdirAll(cfg.StateDir, 0o755); err != nil {
 		return err
 	}
@@ -373,6 +423,6 @@ func saveState(sv *core.Servent, cfg Config) error {
 			return err
 		}
 	}
-	log.Printf("saved state to %s", cfg.StateDir)
+	logger.Info("saved state", "dir", cfg.StateDir)
 	return nil
 }

@@ -34,11 +34,13 @@ type health struct {
 }
 
 // opsMux mounts the ops surface — /metrics (Prometheus text, or
-// expvar-style JSON with ?format=json) and /healthz — and delegates
-// everything else to app when the mode has a web interface.
-func opsMux(reg *metrics.Registry, healthFn func() health, app http.Handler) *http.ServeMux {
+// expvar-style JSON with ?format=json), /healthz, and /debug/traces
+// (query span trees; see internal/trace) — and delegates everything
+// else to app when the mode has a web interface.
+func opsMux(reg *metrics.Registry, healthFn func() health, traces http.Handler, app http.Handler) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", metrics.Handler(reg))
+	mux.Handle("/debug/traces", traces)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		enc := json.NewEncoder(w)

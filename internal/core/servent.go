@@ -5,14 +5,17 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"strings"
 	"sync"
 
+	"repro/internal/errs"
 	"repro/internal/index"
 	"repro/internal/p2p"
 	"repro/internal/query"
 	"repro/internal/stylegen"
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/xmldoc"
 	"repro/internal/xpath"
@@ -27,6 +30,8 @@ type Servent struct {
 	store *index.Store
 
 	mu          sync.RWMutex
+	tracer      *trace.Tracer
+	logger      *slog.Logger
 	communities map[string]*Community
 	indexers    map[string]*stylegen.Indexer
 	attachments map[string][]byte
@@ -79,6 +84,40 @@ func (s *Servent) install(c *Community) error {
 	s.communities[c.ID] = c
 	s.indexers[c.ID] = ix
 	return nil
+}
+
+// SetTracer installs a tracer: each Search that arrives without a
+// trace context becomes the root of a new (sampled) trace. A nil
+// tracer disables root creation; searches that already carry a
+// context pass it through unchanged either way.
+func (s *Servent) SetTracer(t *trace.Tracer) {
+	s.mu.Lock()
+	s.tracer = t
+	s.mu.Unlock()
+}
+
+func (s *Servent) tr() *trace.Tracer {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tracer
+}
+
+// SetLogger installs a structured logger for operational events
+// (failed searches, with their errs code and trace ID). The default
+// discards.
+func (s *Servent) SetLogger(l *slog.Logger) {
+	s.mu.Lock()
+	s.logger = l
+	s.mu.Unlock()
+}
+
+func (s *Servent) log() *slog.Logger {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.logger == nil {
+		return slog.New(slog.DiscardHandler)
+	}
+	return s.logger
 }
 
 // PeerID returns the servent's network identity.
@@ -267,7 +306,23 @@ func (s *Servent) Search(communityID string, f query.Filter, opts p2p.SearchOpti
 	if !s.IsJoined(communityID) {
 		return nil, fmt.Errorf("%w: %s", ErrNotJoined, communityID)
 	}
-	return s.net.Search(communityID, f, opts)
+	var sp trace.ActiveSpan
+	if !opts.Trace.Valid() {
+		sp = s.tr().Root("query")
+		sp.SetCommunity(communityID)
+		opts.Trace = sp.ContextOr(opts.Trace)
+	}
+	results, err := s.net.Search(communityID, f, opts)
+	sp.SetErr(err)
+	sp.Finish()
+	if err != nil {
+		s.log().Warn("search failed",
+			"community", communityID,
+			"code", errs.Code(err),
+			"trace_id", fmt.Sprintf("%016x", opts.Trace.Trace),
+			"err", err)
+	}
+	return results, err
 }
 
 // SearchLocal queries only the local store (browsing downloads).

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/errs"
 	"repro/internal/p2p"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
@@ -52,7 +53,11 @@ const (
 // and Await applies the RPC timeout. Candidates are always processed
 // in sorted distance order, never map order, so two runs of one seed
 // issue identical message sequences.
-func (n *Node) lookup(target ID, vq *valueQuery) lookupOutcome {
+//
+// tctx, when valid, ties the lookup into a sampled trace: each wave
+// becomes one span (a child of the caller's span) and every RPC frame
+// it sends is stamped with and attributed to its wave.
+func (n *Node) lookup(tctx trace.Context, target ID, vq *valueQuery) lookupOutcome {
 	var out lookupOutcome
 	short := n.table.Closest(target, 0)
 	state := make(map[transport.PeerID]peerState, len(short))
@@ -69,7 +74,10 @@ func (n *Node) lookup(target ID, vq *valueQuery) lookupOutcome {
 	}
 	for {
 		// Pick up to α unqueried candidates among the K closest
-		// still-viable entries.
+		// still-viable entries. Each wave is one trace span; the RPCs
+		// it issues are stamped with the wave's context.
+		wsp := n.tr().Start(tctx, "wave")
+		wctx := wsp.ContextOr(tctx)
 		var wave []rpc
 		viable := 0
 		for _, c := range short {
@@ -84,7 +92,9 @@ func (n *Node) lookup(target ID, vq *valueQuery) lookupOutcome {
 				continue
 			}
 			reqID, ch := n.pending.Create()
-			if err := n.sendLookupRPC(c.Peer, reqID, target, vq); err != nil {
+			nbytes, err := n.sendLookupRPC(c.Peer, reqID, target, vq, wctx)
+			wsp.AddMsgs(1, int64(nbytes))
+			if err != nil {
 				n.pending.Drop(reqID)
 				state[c.Peer] = stateFailed
 				n.reg.CountError(errs.Wrap("dht.lookup_rpc", err, "dht: lookup rpc failed"))
@@ -100,7 +110,7 @@ func (n *Node) lookup(target ID, vq *valueQuery) lookupOutcome {
 			}
 		}
 		if len(wave) == 0 {
-			break
+			break // span dropped unrecorded: an empty wave is not a round
 		}
 		out.rounds++
 		grew := false
@@ -132,6 +142,7 @@ func (n *Node) lookup(target ID, vq *valueQuery) lookupOutcome {
 		if grew {
 			sortByDistance(short, target)
 		}
+		wsp.Finish()
 	}
 
 	for _, c := range short {
@@ -154,26 +165,32 @@ func (n *Node) lookup(target ID, vq *valueQuery) lookupOutcome {
 	return out
 }
 
-// sendLookupRPC issues the wave's RPC: FIND_VALUE when a value query
-// rides along, FIND_NODE otherwise.
-func (n *Node) sendLookupRPC(to transport.PeerID, reqID uint64, target ID, vq *valueQuery) error {
+// sendLookupRPC issues the wave's RPC — FIND_VALUE when a value query
+// rides along, FIND_NODE otherwise — and returns the payload size it
+// sent so the caller can attribute the frame to the wave span.
+func (n *Node) sendLookupRPC(to transport.PeerID, reqID uint64, target ID, vq *valueQuery, wctx trace.Context) (int, error) {
 	n.mContacted.Inc()
+	var typ string
+	var payload []byte
 	if vq != nil {
-		return n.ep.Send(transport.Message{
-			To:   to,
-			Type: MsgFindValue,
-			Payload: marshal(findValuePayload{
-				ReqID:       reqID,
-				Key:         target,
-				CommunityID: vq.communityID,
-				Filter:      vq.filter,
-				Limit:       vq.limit,
-			}),
+		typ = MsgFindValue
+		payload = marshal(findValuePayload{
+			ReqID:       reqID,
+			Key:         target,
+			CommunityID: vq.communityID,
+			Filter:      vq.filter,
+			Limit:       vq.limit,
 		})
+	} else {
+		typ = MsgFindNode
+		payload = marshal(findNodePayload{ReqID: reqID, Target: target})
 	}
-	return n.ep.Send(transport.Message{
+	err := n.ep.Send(transport.Message{
 		To:      to,
-		Type:    MsgFindNode,
-		Payload: marshal(findNodePayload{ReqID: reqID, Target: target}),
+		Type:    typ,
+		Payload: payload,
+		TraceID: wctx.Trace,
+		SpanID:  wctx.Span,
 	})
+	return len(payload), err
 }

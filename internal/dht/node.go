@@ -10,6 +10,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/p2p"
 	"repro/internal/query"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
@@ -35,6 +36,7 @@ type Node struct {
 
 	mu     sync.RWMutex
 	attach p2p.AttachmentProvider
+	tracer *trace.Tracer
 	closed bool
 
 	// Telemetry handles, resolved by SetMetrics (default: a private
@@ -88,6 +90,20 @@ func (n *Node) SetMetrics(reg *metrics.Registry) {
 	n.records.setExpiredCounter(reg.Counter("dht.records_expired"))
 }
 
+// SetTracer installs the node's span recorder (nil disables tracing,
+// the default). Like SetClock, call before traffic starts.
+func (n *Node) SetTracer(t *trace.Tracer) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.tracer = t
+}
+
+func (n *Node) tr() *trace.Tracer {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.tracer
+}
+
 // PeerID implements p2p.Network.
 func (n *Node) PeerID() transport.PeerID { return n.ep.ID() }
 
@@ -133,7 +149,7 @@ func (n *Node) Bootstrap(peers ...transport.PeerID) {
 			n.table.Observe(p)
 		}
 	}
-	n.lookup(n.self, nil)
+	n.lookup(trace.Context{}, n.self, nil)
 }
 
 // Publish implements p2p.Network: store locally, then replicate the
@@ -145,7 +161,10 @@ func (n *Node) Publish(doc *index.Document) error {
 		return err
 	}
 	n.nm.Publishes.Inc()
-	return n.announce([]*index.Document{doc})
+	sp := n.tr().Root("publish")
+	sp.SetCommunity(doc.CommunityID)
+	defer sp.Finish()
+	return n.announce(sp.Context(), []*index.Document{doc})
 }
 
 // PublishBatch implements p2p.Network: one local store batch, then
@@ -159,13 +178,15 @@ func (n *Node) PublishBatch(docs []*index.Document) error {
 		return err
 	}
 	n.nm.Publishes.Add(int64(len(docs)))
-	return n.announce(docs)
+	sp := n.tr().Root("publish")
+	defer sp.Finish()
+	return n.announce(sp.Context(), docs)
 }
 
 // announce replicates records for docs into the keyspace. STOREs are
 // fire-and-forget: a lost or refused replica is repaired by the next
 // Refresh, exactly like Kademlia republish.
-func (n *Node) announce(docs []*index.Document) error {
+func (n *Node) announce(tctx trace.Context, docs []*index.Document) error {
 	if n.isClosed() {
 		return p2p.ErrClosed
 	}
@@ -179,10 +200,10 @@ func (n *Node) announce(docs []*index.Document) error {
 	}
 	sort.Strings(comms)
 	for _, c := range comms {
-		n.storeRecords(KeyForCommunity(c), byComm[c])
+		n.storeRecords(tctx, KeyForCommunity(c), byComm[c])
 	}
 	for _, doc := range docs {
-		n.storeRecords(KeyForDoc(doc.ID), []Record{recordFor(doc, n.ep.ID())})
+		n.storeRecords(tctx, KeyForDoc(doc.ID), []Record{recordFor(doc, n.ep.ID())})
 	}
 	return nil
 }
@@ -202,24 +223,39 @@ func recordFor(doc *index.Document, provider transport.PeerID) Record {
 // onto them. The node keeps a local replica too when it belongs to
 // the key's neighborhood (fewer than k known holders, or self closer
 // than the k-th) — slight over-replication beats a coverage hole.
-func (n *Node) storeRecords(key ID, recs []Record) {
-	out := n.lookup(key, nil)
+func (n *Node) storeRecords(tctx trace.Context, key ID, recs []Record) {
+	out := n.lookup(tctx, key, nil)
 	targets := out.contacts
 	if len(targets) < n.cfg.K || CompareDistance(n.self, targets[len(targets)-1].ID, key) < 0 {
 		n.records.put(key, recs, n.clk.Now())
 	}
+	// Chunk payloads are marshaled once, then replicated target-major so
+	// each replica is one trace span covering all its chunk frames.
+	payloads := make([][]byte, 0, (len(recs)+storeChunk-1)/storeChunk)
 	for start := 0; start < len(recs); start += storeChunk {
 		end := start + storeChunk
 		if end > len(recs) {
 			end = len(recs)
 		}
-		payload := marshal(storePayload{Key: key, Records: recs[start:end]})
-		for _, t := range targets {
+		payloads = append(payloads, marshal(storePayload{Key: key, Records: recs[start:end]}))
+	}
+	for _, t := range targets {
+		sp := n.tr().Start(tctx, "store")
+		sp.SetPeer(string(t.Peer))
+		sctx := sp.ContextOr(tctx)
+		for _, payload := range payloads {
 			n.mFanout.Inc()
-			if err := n.ep.Send(transport.Message{To: t.Peer, Type: MsgStore, Payload: payload}); err != nil && transport.IsPeerDead(err) {
-				n.table.Remove(t.Peer)
+			err := n.ep.Send(transport.Message{To: t.Peer, Type: MsgStore, Payload: payload,
+				TraceID: sctx.Trace, SpanID: sctx.Span})
+			sp.AddMsgs(1, int64(len(payload)))
+			if err != nil {
+				sp.SetErr(err)
+				if transport.IsPeerDead(err) {
+					n.table.Remove(t.Peer)
+				}
 			}
 		}
+		sp.Finish()
 	}
 }
 
@@ -230,21 +266,30 @@ func (n *Node) Unpublish(id index.DocID) error {
 	if n.isClosed() {
 		return p2p.ErrClosed
 	}
+	sp := n.tr().Root("unpublish")
+	defer sp.Finish()
+	tctx := sp.Context()
 	doc, err := n.store.Get(id)
 	n.store.Delete(id)
 	if err == nil {
-		n.unstore(KeyForCommunity(doc.CommunityID), id)
+		n.unstore(tctx, KeyForCommunity(doc.CommunityID), id)
 	}
-	n.unstore(KeyForDoc(id), id)
+	n.unstore(tctx, KeyForDoc(id), id)
 	return nil
 }
 
-func (n *Node) unstore(key ID, id index.DocID) {
-	out := n.lookup(key, nil)
+func (n *Node) unstore(tctx trace.Context, key ID, id index.DocID) {
+	out := n.lookup(tctx, key, nil)
 	n.records.remove(key, id, n.ep.ID())
 	payload := marshal(unstorePayload{Key: key, DocID: id, Provider: n.ep.ID()})
 	for _, t := range out.contacts {
-		_ = n.ep.Send(transport.Message{To: t.Peer, Type: MsgUnstore, Payload: payload})
+		sp := n.tr().Start(tctx, "unstore")
+		sp.SetPeer(string(t.Peer))
+		sctx := sp.ContextOr(tctx)
+		_ = n.ep.Send(transport.Message{To: t.Peer, Type: MsgUnstore, Payload: payload,
+			TraceID: sctx.Trace, SpanID: sctx.Span})
+		sp.AddMsgs(1, int64(len(payload)))
+		sp.Finish()
 	}
 }
 
@@ -265,8 +310,11 @@ func (n *Node) Search(communityID string, f query.Filter, opts p2p.SearchOptions
 		f = query.MatchAll{}
 	}
 	start := n.clk.Now()
+	sp := n.tr().Start(opts.Trace, "search")
+	sp.SetCommunity(communityID)
+	defer sp.Finish()
 	key := KeyForCommunity(communityID)
-	out := n.lookup(key, &valueQuery{communityID: communityID, filter: f.String(), limit: opts.Limit})
+	out := n.lookup(sp.ContextOr(opts.Trace), key, &valueQuery{communityID: communityID, filter: f.String(), limit: opts.Limit})
 	merged := make(map[recordKey]Record, len(out.records))
 	for _, rec := range out.records {
 		// Holders filter server-side; re-check here so a skewed or
@@ -309,7 +357,9 @@ func (n *Node) Search(communityID string, f query.Filter, opts p2p.SearchOptions
 // Providers returns the provider records replicated under a
 // document's key: the DocID-keyed half of the keyspace.
 func (n *Node) Providers(id index.DocID) []Record {
-	out := n.lookup(KeyForDoc(id), &valueQuery{filter: query.MatchAll{}.String()})
+	sp := n.tr().Root("providers")
+	defer sp.Finish()
+	out := n.lookup(sp.Context(), KeyForDoc(id), &valueQuery{filter: query.MatchAll{}.String()})
 	merged := make(map[recordKey]Record, len(out.records))
 	for _, rec := range out.records {
 		merged[recordKey{rec.DocID, rec.Provider}] = rec
@@ -333,7 +383,10 @@ func (n *Node) Retrieve(id index.DocID, from transport.PeerID) (*index.Document,
 	if from == n.PeerID() {
 		return n.store.Get(id)
 	}
-	doc, err := p2p.RetrieveFrom(n.clk, n.ep, n.pending, id, from, 0)
+	sp := n.tr().Root("fetch")
+	sp.SetPeer(string(from))
+	defer sp.Finish()
+	doc, err := p2p.RetrieveFrom(n.clk, n.ep, n.pending, &sp, id, from, 0)
 	if err != nil {
 		n.nm.CountError(err)
 		return nil, err
@@ -344,7 +397,10 @@ func (n *Node) Retrieve(id index.DocID, from transport.PeerID) (*index.Document,
 
 // RetrieveAttachment implements p2p.Network.
 func (n *Node) RetrieveAttachment(uri string, from transport.PeerID) ([]byte, error) {
-	return p2p.RetrieveAttachmentFrom(n.clk, n.ep, n.pending, uri, from, 0)
+	sp := n.tr().Root("attachment")
+	sp.SetPeer(string(from))
+	defer sp.Finish()
+	return p2p.RetrieveAttachmentFrom(n.clk, n.ep, n.pending, &sp, uri, from, 0)
 }
 
 // CheckLiveness probes the least-recently-seen contact of every
@@ -395,9 +451,14 @@ func (n *Node) Refresh() error {
 	if n.isClosed() {
 		return p2p.ErrClosed
 	}
+	sp := n.tr().Root("refresh")
+	defer sp.Finish()
+	tctx := sp.Context()
 	n.CheckLiveness()
-	n.lookup(n.self, nil)
-	return p2p.ReannounceLocal(n.store, n.announce)
+	n.lookup(tctx, n.self, nil)
+	return p2p.ReannounceLocal(n.store, func(docs []*index.Document) error {
+		return n.announce(tctx, docs)
+	})
 }
 
 // Close implements p2p.Network.
@@ -438,19 +499,27 @@ func (n *Node) handle(msg transport.Message) {
 		if err := json.Unmarshal(msg.Payload, &req); err != nil {
 			return
 		}
-		_ = n.ep.Send(transport.Message{
-			To:   msg.From,
-			Type: MsgFindNodeReply,
-			Payload: marshal(findNodeReplyPayload{
-				ReqID: req.ReqID,
-				Peers: contactPeers(n.table.Closest(req.Target, n.cfg.K)),
-			}),
+		sp, tctx := n.startSpan(msg, "findnode.serve")
+		payload := marshal(findNodeReplyPayload{
+			ReqID: req.ReqID,
+			Peers: contactPeers(n.table.Closest(req.Target, n.cfg.K)),
 		})
+		_ = n.ep.Send(transport.Message{
+			To:      msg.From,
+			Type:    MsgFindNodeReply,
+			Payload: payload,
+			TraceID: tctx.Trace,
+			SpanID:  tctx.Span,
+		})
+		sp.AddMsgs(1, int64(len(payload)))
+		sp.Finish()
 	case MsgFindValue:
 		var req findValuePayload
 		if err := json.Unmarshal(msg.Payload, &req); err != nil {
 			return
 		}
+		sp, tctx := n.startSpan(msg, "findvalue.serve")
+		sp.SetCommunity(req.CommunityID)
 		reply := findValueReplyPayload{
 			ReqID: req.ReqID,
 			Peers: contactPeers(n.table.Closest(req.Key, n.cfg.K)),
@@ -462,16 +531,22 @@ func (n *Node) handle(msg transport.Message) {
 		if f, err := query.Parse(req.Filter); err == nil {
 			reply.Records = n.records.get(req.Key, n.clk.Now(), req.CommunityID, f, req.Limit)
 		}
+		payload := marshal(reply)
 		_ = n.ep.Send(transport.Message{
 			To:      msg.From,
 			Type:    MsgFindValueReply,
-			Payload: marshal(reply),
+			Payload: payload,
+			TraceID: tctx.Trace,
+			SpanID:  tctx.Span,
 		})
+		sp.AddMsgs(1, int64(len(payload)))
+		sp.Finish()
 	case MsgStore:
 		var req storePayload
 		if err := json.Unmarshal(msg.Payload, &req); err != nil {
 			return
 		}
+		sp, _ := n.startSpan(msg, "store.serve")
 		// Provenance: a peer may only store records it provides
 		// itself (every legitimate publish/refresh does exactly
 		// that), so one peer cannot forge records under another's
@@ -483,6 +558,7 @@ func (n *Node) handle(msg transport.Message) {
 			}
 		}
 		n.records.put(req.Key, kept, n.clk.Now())
+		sp.Finish()
 	case MsgUnstore:
 		var req unstorePayload
 		if err := json.Unmarshal(msg.Payload, &req); err != nil {
@@ -493,7 +569,9 @@ func (n *Node) handle(msg transport.Message) {
 		if req.Provider != msg.From {
 			return
 		}
+		sp, _ := n.startSpan(msg, "unstore.serve")
 		n.records.remove(req.Key, req.DocID, req.Provider)
+		sp.Finish()
 	case MsgPong, MsgFindNodeReply, MsgFindValueReply, p2p.MsgFetchReply, p2p.MsgAttachmentReply:
 		var probe struct {
 			ReqID uint64 `json:"reqId"`
@@ -503,13 +581,22 @@ func (n *Node) handle(msg transport.Message) {
 		}
 		n.pending.Resolve(probe.ReqID, msg.Payload)
 	case p2p.MsgFetch:
-		p2p.ServeFetch(n.ep, n.store, msg)
+		p2p.ServeFetch(n.tr(), n.ep, n.store, msg)
 	case p2p.MsgAttachment:
 		n.mu.RLock()
 		p := n.attach
 		n.mu.RUnlock()
-		p2p.ServeAttachment(n.ep, p, msg)
+		p2p.ServeAttachment(n.tr(), n.ep, p, msg)
 	}
+}
+
+// startSpan opens a handler span for an inbound traced frame and
+// returns it with the context downstream sends should carry.
+func (n *Node) startSpan(msg transport.Message, op string) (trace.ActiveSpan, trace.Context) {
+	inCtx := trace.Context{Trace: msg.TraceID, Span: msg.SpanID}
+	sp := n.tr().StartAt(inCtx, op, transport.ChainOffset(n.ep))
+	sp.SetPeer(string(msg.From))
+	return sp, sp.ContextOr(inCtx)
 }
 
 // contactPeers projects contacts to their peer IDs for the wire.

@@ -9,6 +9,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/p2p"
 	"repro/internal/query"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
@@ -209,8 +210,8 @@ func TestLookupConvergence(t *testing.T) {
 	_, nodes := testNet(t, 64, Config{K: 8, Alpha: 3})
 	target := KeyForCommunity("patterns")
 	before := nodes[17].Metrics().Snapshot()
-	out1 := nodes[17].lookup(target, nil)
-	out2 := nodes[17].lookup(target, nil)
+	out1 := nodes[17].lookup(trace.Context{}, target, nil)
+	out2 := nodes[17].lookup(trace.Context{}, target, nil)
 	if out1.rounds == 0 || out1.rounds > 6 {
 		t.Fatalf("rounds = %d, want 1..6", out1.rounds)
 	}

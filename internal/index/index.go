@@ -21,6 +21,7 @@ package index
 
 import (
 	"fmt"
+	"log/slog"
 	"sort"
 	"strconv"
 	"strings"
@@ -94,6 +95,7 @@ type storeConfig struct {
 	shards          int
 	cacheSize       int
 	metrics         *metrics.Registry
+	logger          *slog.Logger
 	walDir          string
 	walFsync        FsyncPolicy
 	walSegmentBytes int64
@@ -130,6 +132,14 @@ func WithCacheSize(n int) Option {
 // the max.
 func WithMetrics(reg *metrics.Registry) Option {
 	return func(c *storeConfig) { c.metrics = reg }
+}
+
+// WithLogger routes the store's operational log lines — WAL replay
+// ranges, torn-tail truncations, compactions — to l. The default
+// discards them; the counters in the metrics registry always record
+// these events regardless of the logger.
+func WithLogger(l *slog.Logger) Option {
+	return func(c *storeConfig) { c.logger = l }
 }
 
 // WithWAL arms crash-safe persistence under dir: every write is

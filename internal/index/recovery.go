@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -35,11 +36,16 @@ func OpenStore(opts ...Option) (*Store, error) {
 	if err := os.MkdirAll(cfg.walDir, 0o755); err != nil {
 		return nil, fmt.Errorf("index: open: %w", err)
 	}
+	logger := cfg.logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
 	w := &wal{
 		dir:          cfg.walDir,
 		policy:       cfg.walFsync,
 		segmentBytes: cfg.walSegmentBytes,
 		compactBytes: cfg.walCompactBytes,
+		log:          logger,
 		appends:      s.reg.Counter("index.wal_appends"),
 		bytes:        s.reg.Counter("index.wal_bytes"),
 		replayed:     s.reg.Counter("index.wal_replayed"),
@@ -90,6 +96,15 @@ func (s *Store) recover(w *wal) error {
 		}
 	}
 	w.replayed.Add(int64(len(recs)))
+	if len(recs) > 0 {
+		// recs is sorted by LSN, so the range is first..maxLSN. The
+		// replayed-LSN range used to be visible only as a counter; an
+		// operator diagnosing recovery needs the actual positions.
+		w.log.Info("wal replay complete",
+			"records", len(recs), "min_lsn", recs[0].LSN, "max_lsn", maxLSN)
+	} else {
+		w.log.Debug("wal replay complete", "records", 0)
+	}
 	w.lsn.Store(maxLSN)
 	// Reopen each shard's newest segment for appending; shards with no
 	// surviving segment get one lazily on first append (rotate).
@@ -155,8 +170,14 @@ func (w *wal) scanSegments() ([]walRecord, segSizes, uint64, error) {
 			return nil, nil, 0, w.fail(errWALReplay, err)
 		}
 		if fi, err := os.Stat(path); err == nil && fi.Size() > goodBytes {
-			// Torn or corrupt tail: count it, cut it, keep going.
+			// Torn or corrupt tail: count it, cut it, keep going — but
+			// say where the cut landed, not just that one happened (the
+			// old silent wal.corrupt count left no way to find the
+			// damaged segment).
 			w.reg.CountError(fmt.Errorf("%w: %s at offset %d", errWALCorrupt, e.Name(), goodBytes))
+			w.log.Warn("wal torn tail truncated",
+				"code", "wal.corrupt", "segment", e.Name(),
+				"offset", goodBytes, "dropped_bytes", fi.Size()-goodBytes)
 			if err := os.Truncate(path, goodBytes); err != nil {
 				return nil, nil, 0, w.fail(errWALReplay, err)
 			}

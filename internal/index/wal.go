@@ -33,6 +33,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/crc32"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -137,6 +138,8 @@ type wal struct {
 	compactMu sync.Mutex
 
 	logs []*shardLog
+
+	log *slog.Logger
 
 	appends  *metrics.Counter // index.wal_appends
 	bytes    *metrics.Counter // index.wal_bytes
@@ -274,12 +277,14 @@ func (s *Store) Compact() error {
 		}
 	}
 	sort.Slice(docs, func(i, j int) bool { return docs[i].ID < docs[j].ID })
+	reclaimed := w.total.Load()
 	if err := writeSnapshotFile(w.dir, docs); err != nil {
 		return w.fail(errWALCompact, err)
 	}
 	if err := w.resetSegments(); err != nil {
 		return w.fail(errWALCompact, err)
 	}
+	w.log.Info("wal compacted", "docs", len(docs), "reclaimed_bytes", reclaimed)
 	return nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/metrics"
 	"repro/internal/query"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
@@ -36,6 +37,7 @@ type IndexServer struct {
 	mu        sync.RWMutex
 	store     *index.Store
 	providers map[index.DocID][]transport.PeerID // registration order
+	tracer    *trace.Tracer
 }
 
 // NewIndexServer attaches a server to the given endpoint with a
@@ -54,6 +56,20 @@ func NewIndexServerOn(ep transport.Endpoint, store *index.Store) *IndexServer {
 	}
 	ep.SetHandler(s.handle)
 	return s
+}
+
+// SetTracer installs the server's span recorder (nil disables
+// tracing, the default). Call before traffic starts.
+func (s *IndexServer) SetTracer(t *trace.Tracer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tracer = t
+}
+
+func (s *IndexServer) tr() *trace.Tracer {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tracer
 }
 
 // Len returns the number of distinct registered documents.
@@ -90,13 +106,17 @@ func (s *IndexServer) handle(msg transport.Message) {
 		if err := json.Unmarshal(msg.Payload, &reg); err != nil {
 			return
 		}
+		sp := s.startSpan(msg, "register.serve")
 		s.register(msg.From, []registerPayload{reg})
+		sp.Finish()
 	case MsgRegisterBatch:
 		var batch registerBatchPayload
 		if err := json.Unmarshal(msg.Payload, &batch); err != nil {
 			return
 		}
+		sp := s.startSpan(msg, "register.serve")
 		s.register(msg.From, batch.Docs)
+		sp.Finish()
 	case MsgUnregister:
 		var unreg unregisterPayload
 		if err := json.Unmarshal(msg.Payload, &unreg); err != nil {
@@ -122,17 +142,33 @@ func (s *IndexServer) handle(msg transport.Message) {
 		if err := json.Unmarshal(msg.Payload, &req); err != nil {
 			return
 		}
+		inCtx := trace.Context{Trace: msg.TraceID, Span: msg.SpanID}
+		sp := s.startSpan(msg, "search.serve")
+		sp.SetCommunity(req.CommunityID)
+		tctx := sp.ContextOr(inCtx)
 		f, err := query.Parse(req.Filter)
 		if err != nil {
 			f = query.MatchAll{}
 		}
 		results := s.search(req.CommunityID, f, req.Limit)
+		payload := marshal(searchHitPayload{ReqID: req.ReqID, Results: results})
 		_ = s.ep.Send(transport.Message{
 			To:      msg.From,
 			Type:    MsgSearchHit,
-			Payload: marshal(searchHitPayload{ReqID: req.ReqID, Results: results}),
+			Payload: payload,
+			TraceID: tctx.Trace,
+			SpanID:  tctx.Span,
 		})
+		sp.AddMsgs(1, int64(len(payload)))
+		sp.Finish()
 	}
+}
+
+// startSpan opens a handler span for an inbound traced frame.
+func (s *IndexServer) startSpan(msg transport.Message, op string) trace.ActiveSpan {
+	sp := s.tr().StartAt(trace.Context{Trace: msg.TraceID, Span: msg.SpanID}, op, transport.ChainOffset(s.ep))
+	sp.SetPeer(string(msg.From))
+	return sp
 }
 
 // register records from as a provider of each document and upserts the
@@ -210,6 +246,7 @@ type CentralizedClient struct {
 	// overridden to "fasttrack" by NewFastTrackLeaf (a leaf is this
 	// client pointed at a super-peer).
 	metricsProto string
+	tracer       *trace.Tracer
 
 	mu     sync.RWMutex
 	server transport.PeerID // mutable: Rehome repoints it after failover
@@ -250,6 +287,20 @@ func (c *CentralizedClient) nodeMetrics() *NodeMetrics {
 	return c.nm
 }
 
+// SetTracer installs the client's span recorder (nil disables
+// tracing, the default). Call before traffic starts.
+func (c *CentralizedClient) SetTracer(t *trace.Tracer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tracer = t
+}
+
+func (c *CentralizedClient) tr() *trace.Tracer {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.tracer
+}
+
 // PeerID implements Network.
 func (c *CentralizedClient) PeerID() transport.PeerID { return c.ep.ID() }
 
@@ -282,10 +333,19 @@ func (c *CentralizedClient) Publish(doc *index.Document) error {
 		return err
 	}
 	c.nodeMetrics().Publishes.Inc()
+	sp := c.tr().Root("publish")
+	sp.SetPeer(string(c.Server()))
+	sp.SetCommunity(doc.CommunityID)
+	defer sp.Finish()
+	tctx := sp.Context()
+	payload := marshal(registerPayloadFor(doc))
+	sp.AddMsgs(1, int64(len(payload)))
 	return c.ep.Send(transport.Message{
 		To:      c.Server(),
 		Type:    MsgRegister,
-		Payload: marshal(registerPayloadFor(doc)),
+		Payload: payload,
+		TraceID: tctx.Trace,
+		SpanID:  tctx.Span,
 	})
 }
 
@@ -305,8 +365,12 @@ func (c *CentralizedClient) PublishBatch(docs []*index.Document) error {
 }
 
 // registerBatch streams docs to the given server in register-batch
-// chunks.
+// chunks, recorded as one "register" root span when sampled.
 func (c *CentralizedClient) registerBatch(server transport.PeerID, docs []*index.Document) error {
+	sp := c.tr().Root("register")
+	sp.SetPeer(string(server))
+	defer sp.Finish()
+	tctx := sp.Context()
 	for start := 0; start < len(docs); start += registerBatchChunk {
 		end := start + registerBatchChunk
 		if end > len(docs) {
@@ -316,12 +380,17 @@ func (c *CentralizedClient) registerBatch(server transport.PeerID, docs []*index
 		for _, doc := range docs[start:end] {
 			regs = append(regs, registerPayloadFor(doc))
 		}
+		payload := marshal(registerBatchPayload{Docs: regs})
 		err := c.ep.Send(transport.Message{
 			To:      server,
 			Type:    MsgRegisterBatch,
-			Payload: marshal(registerBatchPayload{Docs: regs}),
+			Payload: payload,
+			TraceID: tctx.Trace,
+			SpanID:  tctx.Span,
 		})
+		sp.AddMsgs(1, int64(len(payload)))
 		if err != nil {
+			sp.SetErr(err)
 			return err
 		}
 	}
@@ -363,26 +432,37 @@ func (c *CentralizedClient) Search(communityID string, f query.Filter, opts Sear
 	}
 	nm := c.nodeMetrics()
 	start := c.clk.Now()
+	sp := c.tr().Start(opts.Trace, "search")
+	sp.SetCommunity(communityID)
+	sp.SetPeer(string(c.Server()))
+	defer sp.Finish()
+	tctx := sp.ContextOr(opts.Trace)
 	reqID, ch := c.pending.Create()
-	err := c.ep.Send(transport.Message{
-		To:   c.Server(),
-		Type: MsgSearch,
-		Payload: marshal(searchPayload{
-			ReqID:       reqID,
-			CommunityID: communityID,
-			Filter:      f.String(),
-			Limit:       opts.Limit,
-		}),
+	payload := marshal(searchPayload{
+		ReqID:       reqID,
+		CommunityID: communityID,
+		Filter:      f.String(),
+		Limit:       opts.Limit,
 	})
+	err := c.ep.Send(transport.Message{
+		To:      c.Server(),
+		Type:    MsgSearch,
+		Payload: payload,
+		TraceID: tctx.Trace,
+		SpanID:  tctx.Span,
+	})
+	sp.AddMsgs(1, int64(len(payload)))
 	if err != nil {
 		c.pending.Drop(reqID)
 		nm.CountError(err)
+		sp.SetErr(err)
 		return nil, fmt.Errorf("p2p: search: %w", err)
 	}
 	raw, err := Await(c.clk, c.ep.Synchronous(), ch, opts.Timeout)
 	if err != nil {
 		c.pending.Drop(reqID)
 		nm.CountError(err)
+		sp.SetErr(err)
 		return nil, err
 	}
 	var hit searchHitPayload
@@ -399,7 +479,10 @@ func (c *CentralizedClient) Retrieve(id index.DocID, from transport.PeerID) (*in
 		return c.store.Get(id)
 	}
 	nm := c.nodeMetrics()
-	doc, err := RetrieveFrom(c.clk, c.ep, c.pending, id, from, 0)
+	sp := c.tr().Root("fetch")
+	sp.SetPeer(string(from))
+	defer sp.Finish()
+	doc, err := RetrieveFrom(c.clk, c.ep, c.pending, &sp, id, from, 0)
 	if err != nil {
 		nm.CountError(err)
 		return nil, err
@@ -410,7 +493,10 @@ func (c *CentralizedClient) Retrieve(id index.DocID, from transport.PeerID) (*in
 
 // RetrieveAttachment implements Network.
 func (c *CentralizedClient) RetrieveAttachment(uri string, from transport.PeerID) ([]byte, error) {
-	return RetrieveAttachmentFrom(c.clk, c.ep, c.pending, uri, from, 0)
+	sp := c.tr().Root("attachment")
+	sp.SetPeer(string(from))
+	defer sp.Finish()
+	return RetrieveAttachmentFrom(c.clk, c.ep, c.pending, &sp, uri, from, 0)
 }
 
 // Close implements Network.
@@ -446,12 +532,12 @@ func (c *CentralizedClient) handle(msg transport.Message) {
 		}
 		c.pending.Resolve(reply.ReqID, msg.Payload)
 	case MsgFetch:
-		ServeFetch(c.ep, c.store, msg)
+		ServeFetch(c.tr(), c.ep, c.store, msg)
 	case MsgAttachment:
 		c.mu.RLock()
 		p := c.attach
 		c.mu.RUnlock()
-		ServeAttachment(c.ep, p, msg)
+		ServeAttachment(c.tr(), c.ep, p, msg)
 	}
 }
 

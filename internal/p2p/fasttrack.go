@@ -8,6 +8,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/metrics"
 	"repro/internal/query"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
@@ -35,8 +36,9 @@ type serverEntry struct {
 // SuperPeer is a FastTrack hub: it indexes its leaves' metadata and
 // floods queries across the super-peer overlay.
 type SuperPeer struct {
-	ep    transport.Endpoint
-	guids *guidSource
+	ep     transport.Endpoint
+	guids  *guidSource
+	tracer *trace.Tracer
 
 	mu        sync.RWMutex
 	leafIndex map[index.DocID][]serverEntry
@@ -66,6 +68,20 @@ func NewSuperPeer(ep transport.Endpoint) *SuperPeer {
 
 // PeerID returns the super-peer's identity.
 func (s *SuperPeer) PeerID() transport.PeerID { return s.ep.ID() }
+
+// SetTracer installs the super-peer's span recorder (nil disables
+// tracing, the default). Call before traffic starts.
+func (s *SuperPeer) SetTracer(t *trace.Tracer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tracer = t
+}
+
+func (s *SuperPeer) tr() *trace.Tracer {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tracer
+}
 
 // AddNeighbor links this super-peer to another (one direction).
 func (s *SuperPeer) AddNeighbor(peer transport.PeerID) {
@@ -153,13 +169,17 @@ func (s *SuperPeer) handle(msg transport.Message) {
 		if err := json.Unmarshal(msg.Payload, &reg); err != nil {
 			return
 		}
+		sp := s.startSpan(msg, "register.serve")
 		s.registerLeaf(msg.From, []registerPayload{reg})
+		sp.Finish()
 	case MsgRegisterBatch:
 		var batch registerBatchPayload
 		if err := json.Unmarshal(msg.Payload, &batch); err != nil {
 			return
 		}
+		sp := s.startSpan(msg, "register.serve")
 		s.registerLeaf(msg.From, batch.Docs)
+		sp.Finish()
 	case MsgUnregister:
 		var unreg unregisterPayload
 		if err := json.Unmarshal(msg.Payload, &unreg); err != nil {
@@ -222,6 +242,11 @@ func (s *SuperPeer) handleLeafSearch(msg transport.Message) {
 	if err := json.Unmarshal(msg.Payload, &req); err != nil {
 		return
 	}
+	inCtx := trace.Context{Trace: msg.TraceID, Span: msg.SpanID}
+	sp := s.startSpan(msg, "leaf.search")
+	sp.SetCommunity(req.CommunityID)
+	defer sp.Finish()
+	tctx := sp.ContextOr(inCtx)
 	f, err := query.Parse(req.Filter)
 	if err != nil {
 		f = query.MatchAll{}
@@ -245,7 +270,9 @@ func (s *SuperPeer) handleLeafSearch(msg transport.Message) {
 	}
 	payload := marshal(q)
 	for _, n := range neighbors {
-		_ = s.ep.Send(transport.Message{To: n, Type: MsgQuery, Payload: payload})
+		_ = s.ep.Send(transport.Message{To: n, Type: MsgQuery, Payload: payload,
+			TraceID: tctx.Trace, SpanID: tctx.Span})
+		sp.AddMsgs(1, int64(len(payload)))
 	}
 	// On the synchronous simulator the flood has completed; reply with
 	// everything collected. (Over TCP a production implementation would
@@ -254,11 +281,22 @@ func (s *SuperPeer) handleLeafSearch(msg transport.Message) {
 	s.mu.Lock()
 	delete(s.collect, guid)
 	s.mu.Unlock()
+	reply := marshal(searchHitPayload{ReqID: req.ReqID, Results: merged})
 	_ = s.ep.Send(transport.Message{
 		To:      msg.From,
 		Type:    MsgSearchHit,
-		Payload: marshal(searchHitPayload{ReqID: req.ReqID, Results: merged}),
+		Payload: reply,
+		TraceID: tctx.Trace,
+		SpanID:  tctx.Span,
 	})
+	sp.AddMsgs(1, int64(len(reply)))
+}
+
+// startSpan opens a handler span for an inbound traced frame.
+func (s *SuperPeer) startSpan(msg transport.Message, op string) trace.ActiveSpan {
+	sp := s.tr().StartAt(trace.Context{Trace: msg.TraceID, Span: msg.SpanID}, op, transport.ChainOffset(s.ep))
+	sp.SetPeer(string(msg.From))
+	return sp
 }
 
 // localSearch scans the leaf index in DocID order (providers keep
@@ -298,9 +336,15 @@ func (s *SuperPeer) handleQuery(msg transport.Message) {
 	if err := json.Unmarshal(msg.Payload, &q); err != nil {
 		return
 	}
+	inCtx := trace.Context{Trace: msg.TraceID, Span: msg.SpanID}
+	sp := s.startSpan(msg, "query")
+	sp.SetCommunity(q.CommunityID)
+	defer sp.Finish()
+	tctx := sp.ContextOr(inCtx)
 	s.mu.Lock()
 	if _, dup := s.seen[q.GUID]; dup {
 		s.mu.Unlock()
+		sp.SetOp("query.dup")
 		return
 	}
 	s.seen[q.GUID] = msg.From
@@ -316,11 +360,15 @@ func (s *SuperPeer) handleQuery(msg transport.Message) {
 		results[i].Hops = hops
 	}
 	if len(results) > 0 {
+		hit := marshal(queryHitPayload{GUID: q.GUID, Results: results})
 		_ = s.ep.Send(transport.Message{
 			To:      msg.From,
 			Type:    MsgQueryHit,
-			Payload: marshal(queryHitPayload{GUID: q.GUID, Results: results}),
+			Payload: hit,
+			TraceID: tctx.Trace,
+			SpanID:  tctx.Span,
 		})
+		sp.AddMsgs(1, int64(len(hit)))
 	}
 	if q.TTL <= 1 {
 		return
@@ -331,7 +379,9 @@ func (s *SuperPeer) handleQuery(msg transport.Message) {
 	payload := marshal(fwd)
 	for _, n := range neighbors {
 		if n != msg.From {
-			_ = s.ep.Send(transport.Message{To: n, Type: MsgQuery, Payload: payload})
+			_ = s.ep.Send(transport.Message{To: n, Type: MsgQuery, Payload: payload,
+				TraceID: tctx.Trace, SpanID: tctx.Span})
+			sp.AddMsgs(1, int64(len(payload)))
 		}
 	}
 }
@@ -346,14 +396,22 @@ func (s *SuperPeer) handleQueryHit(msg transport.Message) {
 	back, seen := s.seen[hit.GUID]
 	self := s.ep.ID()
 	s.mu.RUnlock()
+	inCtx := trace.Context{Trace: msg.TraceID, Span: msg.SpanID}
 	if col != nil {
+		sp := s.startSpan(msg, "hit")
+		sp.Finish()
 		col.add(hit.Results)
 		return
 	}
 	if !seen || back == self {
 		return
 	}
-	_ = s.ep.Send(transport.Message{To: back, Type: MsgQueryHit, Payload: msg.Payload})
+	sp := s.startSpan(msg, "hit.relay")
+	tctx := sp.ContextOr(inCtx)
+	_ = s.ep.Send(transport.Message{To: back, Type: MsgQueryHit, Payload: msg.Payload,
+		TraceID: tctx.Trace, SpanID: tctx.Span})
+	sp.AddMsgs(1, int64(len(msg.Payload)))
+	sp.Finish()
 }
 
 // FastTrackLeaf is an ordinary peer in the super-peer network. Its

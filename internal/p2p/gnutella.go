@@ -9,6 +9,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/metrics"
 	"repro/internal/query"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
@@ -23,6 +24,7 @@ type GnutellaNode struct {
 	guids   *guidSource
 	clk     dsim.Clock
 	nm      *NodeMetrics
+	tracer  *trace.Tracer
 
 	mu        sync.RWMutex
 	neighbors map[transport.PeerID]struct{}
@@ -98,6 +100,20 @@ func (g *GnutellaNode) nodeMetrics() *NodeMetrics {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	return g.nm
+}
+
+// SetTracer installs the node's span recorder (nil disables tracing,
+// the default). Like SetClock, call before traffic starts.
+func (g *GnutellaNode) SetTracer(t *trace.Tracer) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.tracer = t
+}
+
+func (g *GnutellaNode) tr() *trace.Tracer {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.tracer
 }
 
 // SetClock installs the clock that paces this node's timeouts (default
@@ -183,11 +199,16 @@ func (g *GnutellaNode) Search(communityID string, f query.Filter, opts SearchOpt
 	nm := g.nodeMetrics()
 	start := g.clk.Now()
 	guid := g.guids.next()
+	sp := g.tr().Start(opts.Trace, "search")
+	sp.SetCommunity(communityID)
+	tctx := sp.ContextOr(opts.Trace)
 	col := &hitCollector{done: make(chan struct{}), limit: opts.Limit}
 	g.mu.Lock()
 	if g.closed {
 		g.mu.Unlock()
 		nm.CountError(ErrClosed)
+		sp.SetErr(ErrClosed)
+		sp.Finish()
 		return nil, ErrClosed
 	}
 	g.collect[guid] = col
@@ -217,11 +238,14 @@ func (g *GnutellaNode) Search(communityID string, f query.Filter, opts SearchOpt
 	for _, n := range neighbors {
 		// Unreachable neighbors are skipped, like UDP loss in the
 		// original protocol.
-		_ = g.ep.Send(transport.Message{To: n, Type: MsgQuery, Payload: payload})
+		_ = g.ep.Send(transport.Message{To: n, Type: MsgQuery, Payload: payload,
+			TraceID: tctx.Trace, SpanID: tctx.Span})
+		sp.AddMsgs(1, int64(len(payload)))
 	}
 	if g.ep.Synchronous() {
 		out := col.snapshot(opts.Limit)
 		nm.ObserveSearch(g.clk, start, len(out))
+		sp.Finish()
 		return out, nil
 	}
 	select {
@@ -230,6 +254,7 @@ func (g *GnutellaNode) Search(communityID string, f query.Filter, opts SearchOpt
 	}
 	out := col.snapshot(opts.Limit)
 	nm.ObserveSearch(g.clk, start, len(out))
+	sp.Finish()
 	return out, nil
 }
 
@@ -240,7 +265,10 @@ func (g *GnutellaNode) Retrieve(id index.DocID, from transport.PeerID) (*index.D
 		return g.store.Get(id)
 	}
 	nm := g.nodeMetrics()
-	doc, err := RetrieveFrom(g.clk, g.ep, g.pending, id, from, 0)
+	sp := g.tr().Root("fetch")
+	sp.SetPeer(string(from))
+	defer sp.Finish()
+	doc, err := RetrieveFrom(g.clk, g.ep, g.pending, &sp, id, from, 0)
 	if err != nil {
 		nm.CountError(err)
 		return nil, err
@@ -251,7 +279,10 @@ func (g *GnutellaNode) Retrieve(id index.DocID, from transport.PeerID) (*index.D
 
 // RetrieveAttachment implements Network.
 func (g *GnutellaNode) RetrieveAttachment(uri string, from transport.PeerID) ([]byte, error) {
-	return RetrieveAttachmentFrom(g.clk, g.ep, g.pending, uri, from, 0)
+	sp := g.tr().Root("attachment")
+	sp.SetPeer(string(from))
+	defer sp.Finish()
+	return RetrieveAttachmentFrom(g.clk, g.ep, g.pending, &sp, uri, from, 0)
 }
 
 // Close implements Network.
@@ -298,7 +329,7 @@ func (g *GnutellaNode) handle(msg transport.Message) {
 	case MsgPong:
 		g.handlePong(msg)
 	case MsgFetch:
-		ServeFetch(g.ep, g.store, msg)
+		ServeFetch(g.tr(), g.ep, g.store, msg)
 	case MsgFetchReply, MsgAttachmentReply:
 		var probe struct {
 			ReqID uint64 `json:"reqId"`
@@ -311,7 +342,7 @@ func (g *GnutellaNode) handle(msg transport.Message) {
 		g.mu.RLock()
 		p := g.attach
 		g.mu.RUnlock()
-		ServeAttachment(g.ep, p, msg)
+		ServeAttachment(g.tr(), g.ep, p, msg)
 	}
 }
 
@@ -320,9 +351,16 @@ func (g *GnutellaNode) handleQuery(msg transport.Message) {
 	if err := json.Unmarshal(msg.Payload, &q); err != nil {
 		return
 	}
+	inCtx := trace.Context{Trace: msg.TraceID, Span: msg.SpanID}
+	sp := g.tr().StartAt(inCtx, "query", transport.ChainOffset(g.ep))
+	sp.SetPeer(string(msg.From))
+	sp.SetCommunity(q.CommunityID)
+	defer sp.Finish()
+	tctx := sp.ContextOr(inCtx)
 	g.mu.Lock()
 	if _, dup := g.seen[q.GUID]; dup {
 		g.mu.Unlock()
+		sp.SetOp("query.dup")
 		return // duplicate: already served and forwarded
 	}
 	g.seen[q.GUID] = msg.From
@@ -339,9 +377,11 @@ func (g *GnutellaNode) handleQuery(msg transport.Message) {
 		results[i].Hops = hops
 	}
 	if len(results) > 0 {
-		hit := queryHitPayload{GUID: q.GUID, Results: results}
+		hit := marshal(queryHitPayload{GUID: q.GUID, Results: results})
 		// Route the hit back toward the origin along the reverse path.
-		_ = g.ep.Send(transport.Message{To: msg.From, Type: MsgQueryHit, Payload: marshal(hit)})
+		_ = g.ep.Send(transport.Message{To: msg.From, Type: MsgQueryHit, Payload: hit,
+			TraceID: tctx.Trace, SpanID: tctx.Span})
+		sp.AddMsgs(1, int64(len(hit)))
 	}
 	// Forward the flood while TTL remains.
 	if q.TTL <= 1 {
@@ -355,7 +395,9 @@ func (g *GnutellaNode) handleQuery(msg transport.Message) {
 		if n == msg.From {
 			continue
 		}
-		_ = g.ep.Send(transport.Message{To: n, Type: MsgQuery, Payload: payload})
+		_ = g.ep.Send(transport.Message{To: n, Type: MsgQuery, Payload: payload,
+			TraceID: tctx.Trace, SpanID: tctx.Span})
+		sp.AddMsgs(1, int64(len(payload)))
 	}
 }
 
@@ -369,15 +411,25 @@ func (g *GnutellaNode) handleQueryHit(msg transport.Message) {
 	back, seen := g.seen[hit.GUID]
 	self := g.ep.ID()
 	g.mu.RUnlock()
+	inCtx := trace.Context{Trace: msg.TraceID, Span: msg.SpanID}
 	if col != nil {
+		sp := g.tr().StartAt(inCtx, "hit", transport.ChainOffset(g.ep))
+		sp.SetPeer(string(msg.From))
+		sp.Finish()
 		col.add(hit.Results)
 		return
 	}
 	if !seen || back == self {
 		return // unknown or stale query: drop the hit
 	}
+	sp := g.tr().StartAt(inCtx, "hit.relay", transport.ChainOffset(g.ep))
+	sp.SetPeer(string(msg.From))
+	tctx := sp.ContextOr(inCtx)
 	// Relay one hop back along the reverse path.
-	_ = g.ep.Send(transport.Message{To: back, Type: MsgQueryHit, Payload: msg.Payload})
+	_ = g.ep.Send(transport.Message{To: back, Type: MsgQueryHit, Payload: msg.Payload,
+		TraceID: tctx.Trace, SpanID: tctx.Span})
+	sp.AddMsgs(1, int64(len(msg.Payload)))
+	sp.Finish()
 }
 
 // ForgetQueries clears the seen-GUID table (between experiment runs;

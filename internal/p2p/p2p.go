@@ -34,6 +34,7 @@ import (
 	"repro/internal/errs"
 	"repro/internal/index"
 	"repro/internal/query"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
@@ -79,6 +80,10 @@ type SearchOptions struct {
 	// Timeout bounds result collection on asynchronous transports
 	// (0 uses DefaultTimeout). Ignored on the synchronous simulator.
 	Timeout time.Duration
+	// Trace is the caller's trace context; when valid (the query was
+	// sampled upstream), the search records a child span and stamps it
+	// on every wire message the search fans out.
+	Trace trace.Context
 }
 
 // Defaults for SearchOptions.
@@ -331,30 +336,48 @@ func sortedPeers(m map[transport.PeerID]struct{}) []transport.PeerID {
 
 // ServeFetch answers MsgFetch from a local store: the provider side of
 // Retrieve, shared by every protocol implementation (including the DHT
-// overlay in internal/dht, which is why it is exported).
-func ServeFetch(ep transport.Endpoint, store *index.Store, msg transport.Message) {
+// overlay in internal/dht, which is why it is exported). When the
+// inbound frame carries a trace context and tr is non-nil, the serve
+// is recorded as a child span with the reply attributed to it.
+func ServeFetch(tr *trace.Tracer, ep transport.Endpoint, store *index.Store, msg transport.Message) {
 	var req fetchPayload
 	if err := json.Unmarshal(msg.Payload, &req); err != nil {
 		return
 	}
+	inCtx := trace.Context{Trace: msg.TraceID, Span: msg.SpanID}
+	sp := tr.StartAt(inCtx, "fetch.serve", transport.ChainOffset(ep))
+	sp.SetPeer(string(msg.From))
+	defer sp.Finish()
+	tctx := sp.ContextOr(inCtx)
 	reply := fetchReplyPayload{ReqID: req.ReqID}
 	if doc, err := store.Get(req.DocID); err == nil {
 		reply.Found = true
 		reply.Doc = doc
+	} else {
+		sp.SetErr(fmt.Errorf("%w: %s", ErrNotProvided, req.DocID))
 	}
+	payload := marshal(reply)
 	_ = ep.Send(transport.Message{
 		To:      msg.From,
 		Type:    MsgFetchReply,
-		Payload: marshal(reply),
+		Payload: payload,
+		TraceID: tctx.Trace,
+		SpanID:  tctx.Span,
 	})
+	sp.AddMsgs(1, int64(len(payload)))
 }
 
 // ServeAttachment answers MsgAttachment via the provider callback.
-func ServeAttachment(ep transport.Endpoint, provider AttachmentProvider, msg transport.Message) {
+func ServeAttachment(tr *trace.Tracer, ep transport.Endpoint, provider AttachmentProvider, msg transport.Message) {
 	var req attachmentPayload
 	if err := json.Unmarshal(msg.Payload, &req); err != nil {
 		return
 	}
+	inCtx := trace.Context{Trace: msg.TraceID, Span: msg.SpanID}
+	sp := tr.StartAt(inCtx, "attachment.serve", transport.ChainOffset(ep))
+	sp.SetPeer(string(msg.From))
+	defer sp.Finish()
+	tctx := sp.ContextOr(inCtx)
 	reply := attachmentReplyPayload{ReqID: req.ReqID}
 	if provider != nil {
 		if data, ok := provider(req.URI); ok {
@@ -362,29 +385,45 @@ func ServeAttachment(ep transport.Endpoint, provider AttachmentProvider, msg tra
 			reply.Data = data
 		}
 	}
+	if !reply.Found {
+		sp.SetErr(ErrNotProvided)
+	}
+	payload := marshal(reply)
 	_ = ep.Send(transport.Message{
 		To:      msg.From,
 		Type:    MsgAttachmentReply,
-		Payload: marshal(reply),
+		Payload: payload,
+		TraceID: tctx.Trace,
+		SpanID:  tctx.Span,
 	})
+	sp.AddMsgs(1, int64(len(payload)))
 }
 
 // RetrieveFrom implements the client side of Retrieve for every
-// protocol.
-func RetrieveFrom(clk dsim.Clock, ep transport.Endpoint, pending *PendingTable, id index.DocID, from transport.PeerID, timeout time.Duration) (*index.Document, error) {
+// protocol. sp, when active, is the caller's fetch span: the request
+// frame is stamped with its context and attributed to it (the caller
+// finishes the span).
+func RetrieveFrom(clk dsim.Clock, ep transport.Endpoint, pending *PendingTable, sp *trace.ActiveSpan, id index.DocID, from transport.PeerID, timeout time.Duration) (*index.Document, error) {
 	reqID, ch := pending.Create()
+	tctx := sp.Context()
+	payload := marshal(fetchPayload{ReqID: reqID, DocID: id})
 	err := ep.Send(transport.Message{
 		To:      from,
 		Type:    MsgFetch,
-		Payload: marshal(fetchPayload{ReqID: reqID, DocID: id}),
+		Payload: payload,
+		TraceID: tctx.Trace,
+		SpanID:  tctx.Span,
 	})
+	sp.AddMsgs(1, int64(len(payload)))
 	if err != nil {
 		pending.Drop(reqID)
+		sp.SetErr(err)
 		return nil, fmt.Errorf("p2p: fetch: %w", err)
 	}
 	raw, err := Await(clk, ep.Synchronous(), ch, timeout)
 	if err != nil {
 		pending.Drop(reqID)
+		sp.SetErr(err)
 		return nil, err
 	}
 	var reply fetchReplyPayload
@@ -392,27 +431,37 @@ func RetrieveFrom(clk dsim.Clock, ep transport.Endpoint, pending *PendingTable, 
 		return nil, fmt.Errorf("p2p: fetch reply: %w", err)
 	}
 	if !reply.Found || reply.Doc == nil {
-		return nil, fmt.Errorf("%w: %s at %s", ErrNotProvided, id, from)
+		err := fmt.Errorf("%w: %s at %s", ErrNotProvided, id, from)
+		sp.SetErr(err)
+		return nil, err
 	}
 	return reply.Doc, nil
 }
 
 // RetrieveAttachmentFrom implements the client side of attachment
-// download for both protocols.
-func RetrieveAttachmentFrom(clk dsim.Clock, ep transport.Endpoint, pending *PendingTable, uri string, from transport.PeerID, timeout time.Duration) ([]byte, error) {
+// download for both protocols. sp is the caller's span, as in
+// RetrieveFrom.
+func RetrieveAttachmentFrom(clk dsim.Clock, ep transport.Endpoint, pending *PendingTable, sp *trace.ActiveSpan, uri string, from transport.PeerID, timeout time.Duration) ([]byte, error) {
 	reqID, ch := pending.Create()
+	tctx := sp.Context()
+	payload := marshal(attachmentPayload{ReqID: reqID, URI: uri})
 	err := ep.Send(transport.Message{
 		To:      from,
 		Type:    MsgAttachment,
-		Payload: marshal(attachmentPayload{ReqID: reqID, URI: uri}),
+		Payload: payload,
+		TraceID: tctx.Trace,
+		SpanID:  tctx.Span,
 	})
+	sp.AddMsgs(1, int64(len(payload)))
 	if err != nil {
 		pending.Drop(reqID)
+		sp.SetErr(err)
 		return nil, fmt.Errorf("p2p: attachment: %w", err)
 	}
 	raw, err := Await(clk, ep.Synchronous(), ch, timeout)
 	if err != nil {
 		pending.Drop(reqID)
+		sp.SetErr(err)
 		return nil, err
 	}
 	var reply attachmentReplyPayload
@@ -420,7 +469,9 @@ func RetrieveAttachmentFrom(clk dsim.Clock, ep transport.Endpoint, pending *Pend
 		return nil, fmt.Errorf("p2p: attachment reply: %w", err)
 	}
 	if !reply.Found {
-		return nil, fmt.Errorf("%w: attachment %s at %s", ErrNotProvided, uri, from)
+		err := fmt.Errorf("%w: attachment %s at %s", ErrNotProvided, uri, from)
+		sp.SetErr(err)
+		return nil, err
 	}
 	return reply.Data, nil
 }

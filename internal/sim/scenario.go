@@ -14,6 +14,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/p2p"
 	"repro/internal/query"
+	"repro/internal/trace"
 )
 
 // ScenarioConfig describes one discrete-event experiment over a
@@ -60,6 +61,13 @@ type ScenarioConfig struct {
 	// — the DHT's rehome-equivalent, which is what lets recall recover
 	// from departed record holders.
 	DHTRefreshEvery time.Duration
+	// TraceSample, when positive, turns on distributed per-query
+	// tracing (Config.TraceSample): the driver roots a trace for that
+	// fraction of generated queries and the result carries the
+	// slowest assembled span trees as exemplars.
+	TraceSample float64
+	// SlowTraceCount bounds ScenarioResult.SlowTraces (default 5).
+	SlowTraceCount int
 }
 
 // QuerySample is one measured query.
@@ -100,6 +108,11 @@ type ScenarioResult struct {
 	// Elapsed is the real (wall) time the run took — the number that
 	// shows virtual hours costing real seconds.
 	Elapsed time.Duration
+	// SlowTraces holds the slowest assembled query traces (root
+	// duration descending) when TraceSample was positive — the
+	// exemplar waterfalls an operator reads to see where a slow query
+	// spent its virtual time.
+	SlowTraces []*trace.Tree
 }
 
 // MsgsPerQuery is the mean network cost per query.
@@ -176,10 +189,11 @@ type scenario struct {
 	nextObj int64
 	res     *ScenarioResult
 	err     error
-	// msgs/dropped are registry handles resolved once at setup;
+	// msgs/bytes/dropped are registry handles resolved once at setup;
 	// per-query accounting reads them before and after a search instead
 	// of snapshotting the whole registry.
 	msgs    *metrics.Counter
+	bytes   *metrics.Counter
 	dropped *metrics.Counter
 }
 
@@ -218,6 +232,9 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	ccfg := cfg.Cluster
 	ccfg.Clock = clk
 	ccfg.Trace = true
+	if cfg.TraceSample > 0 {
+		ccfg.TraceSample = cfg.TraceSample
+	}
 	cluster, err := NewCluster(ccfg)
 	if err != nil {
 		return nil, err
@@ -232,6 +249,7 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 		truth:   make(map[index.DocID]*docTruth),
 		res:     &ScenarioResult{Protocol: cfg.Cluster.Protocol.String()},
 		msgs:    cluster.Registry().Counter("transport.msgs_delivered"),
+		bytes:   cluster.Registry().Counter("transport.bytes_delivered"),
 		dropped: cluster.Registry().Counter("transport.msgs_dropped"),
 	}
 	if err := s.bootstrap(); err != nil {
@@ -248,6 +266,13 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	s.res.TraceLen = cluster.Net.TraceLen()
 	s.res.FinalPeers = len(cluster.LivePeers())
 	s.res.Elapsed = time.Since(started)
+	if cluster.Tracing() {
+		n := cfg.SlowTraceCount
+		if n <= 0 {
+			n = 5
+		}
+		s.res.SlowTraces = cluster.TraceCollector().Slowest(trace.Filter{}, n)
+	}
 	return s.res, nil
 }
 
@@ -385,15 +410,32 @@ func (s *scenario) runQuery(filter string) {
 	f := query.MustParse(filter)
 	want := s.expected(f)
 
-	before := s.msgs.Value()
+	// Root one trace per sampled query: the driver is the only tracer
+	// with a nonzero sampling rate, so every span tree the collector
+	// assembles descends from a query issued here.
+	sp := s.cluster.DriverTracer().Root("query")
+	sp.SetCommunity(s.comm.ID)
+	sp.SetPeer(string(s.cluster.Servents[from].PeerID()))
+
+	before, beforeBytes := s.msgs.Value(), s.bytes.Value()
 	s.cluster.Net.ResetPath()
-	rs, err := s.cluster.SearchFrom(from, s.comm.ID, f, p2p.SearchOptions{TTL: s.cfg.QueryTTL})
+	rs, err := s.cluster.SearchFrom(from, s.comm.ID, f, p2p.SearchOptions{
+		TTL:   s.cfg.QueryTTL,
+		Trace: sp.Context(),
+	})
 	sample := QuerySample{
 		At:       s.clk.Now().Sub(s.start),
 		Latency:  s.cluster.Net.MaxPathLatency(),
 		Messages: s.msgs.Value() - before,
 		Results:  len(rs),
 	}
+	sp.AddMsgs(sample.Messages, s.bytes.Value()-beforeBytes)
+	sp.SetErr(err)
+	// The root's duration is the driver-measured virtual completion
+	// latency — by construction it covers every child span, whose
+	// starts are offset by the same per-chain virtual arrival times
+	// MaxPathLatency is the maximum of.
+	sp.FinishWithDuration(sample.Latency)
 	found := 0
 	seen := make(map[index.DocID]bool)
 	for _, r := range rs {

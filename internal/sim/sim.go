@@ -17,6 +17,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/p2p"
 	"repro/internal/query"
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/xmldoc"
 )
@@ -90,6 +91,15 @@ type Config struct {
 	// Trace enables message-trace hashing on the network (golden-trace
 	// determinism tests).
 	Trace bool
+	// TraceSample enables distributed per-query tracing at the given
+	// head-sampling rate in [0,1]: the scenario driver roots a trace
+	// for that fraction of generated queries, and every node records
+	// the child spans those queries touch into a small per-node ring.
+	// Zero (the default) leaves every tracer nil — the zero-allocation
+	// disabled state. Either way the golden trace hash is unaffected:
+	// the trace context rides in frame header fields the hash does not
+	// cover, and span IDs/sampling never touch the scenario PRNG.
+	TraceSample float64
 	// Metrics is the registry the whole cluster records into — the
 	// network, every peer's protocol node, and every store share it, so
 	// one snapshot covers the deployment. Nil means a fresh private
@@ -119,7 +129,14 @@ type Cluster struct {
 	superAlive []bool
 	rng        *rand.Rand
 	reg        *metrics.Registry
+	collector  *trace.Collector
+	driverTr   *trace.Tracer
 }
+
+// simTraceRing bounds each node's span ring in simulations: big
+// enough to hold the spans of the slowest queries a scenario keeps,
+// small enough that thousand-peer clusters stay cheap.
+const simTraceRing = 512
 
 // NewCluster builds and wires a cluster.
 func NewCluster(cfg Config) (*Cluster, error) {
@@ -151,6 +168,16 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		clk = dsim.Wall
 	}
 	c := &Cluster{Net: net, cfg: cfg, clock: clk, rng: rand.New(rand.NewSource(cfg.Seed)), reg: reg}
+	if cfg.TraceSample > 0 {
+		// Per-node tracers are created with sampling 0: only the
+		// scenario driver roots traces, so every recorded span tree
+		// descends from a driver-issued query and the root's duration
+		// is the driver-measured query latency.
+		c.collector = trace.NewCollector()
+		c.driverTr = trace.New("driver", cfg.Protocol.String(),
+			trace.WithClock(clk), trace.WithSampling(cfg.TraceSample))
+		c.collector.Attach(c.driverTr)
+	}
 
 	switch cfg.Protocol {
 	case Centralized:
@@ -159,6 +186,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			return nil, err
 		}
 		c.Server = p2p.NewIndexServerOn(sep, index.NewStore(index.WithMetrics(reg)))
+		c.Server.SetTracer(c.nodeTracer("server"))
 	case Gnutella, DHT:
 		// Peers carry the whole overlay; nothing global to set up.
 	case FastTrack:
@@ -174,7 +202,9 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			if err != nil {
 				return nil, err
 			}
-			c.supers = append(c.supers, p2p.NewSuperPeer(ep))
+			sp := p2p.NewSuperPeer(ep)
+			sp.SetTracer(c.nodeTracer(ep.ID()))
+			c.supers = append(c.supers, sp)
 			c.superAlive = append(c.superAlive, true)
 		}
 		// Full mesh: super-peer counts are small (N/8), and a mesh keeps
@@ -224,11 +254,13 @@ func (c *Cluster) newPeer() (int, error) {
 		client := p2p.NewCentralizedClient(ep, "server", st)
 		client.SetClock(c.clock)
 		client.SetMetrics(c.reg)
+		client.SetTracer(c.nodeTracer(ep.ID()))
 		netw = client
 	case Gnutella:
 		node := p2p.NewGnutellaNode(ep, st)
 		node.SetClock(c.clock)
 		node.SetMetrics(c.reg)
+		node.SetTracer(c.nodeTracer(ep.ID()))
 		c.nodes = append(c.nodes, node)
 		netw = node
 	case DHT:
@@ -239,6 +271,7 @@ func (c *Cluster) newPeer() (int, error) {
 		})
 		node.SetClock(c.clock)
 		node.SetMetrics(c.reg)
+		node.SetTracer(c.nodeTracer(ep.ID()))
 		c.dhts = append(c.dhts, node)
 		netw = node
 	case FastTrack:
@@ -257,6 +290,7 @@ func (c *Cluster) newPeer() (int, error) {
 		leaf := p2p.NewFastTrackLeaf(ep, c.supers[superIdx].PeerID(), st)
 		leaf.SetClock(c.clock)
 		leaf.SetMetrics(c.reg)
+		leaf.SetTracer(c.nodeTracer(ep.ID()))
 		c.leafSuper = append(c.leafSuper, superIdx)
 		netw = leaf
 	default:
@@ -332,6 +366,29 @@ func (c *Cluster) LivePeers() []int {
 
 // Clock returns the clock the cluster's protocol layers run on.
 func (c *Cluster) Clock() dsim.Clock { return c.clock }
+
+// nodeTracer mints one node's span recorder and attaches it to the
+// cluster collector; nil (tracing disabled) when TraceSample is 0.
+func (c *Cluster) nodeTracer(id transport.PeerID) *trace.Tracer {
+	if c.collector == nil {
+		return nil
+	}
+	t := trace.New(string(id), c.cfg.Protocol.String(),
+		trace.WithClock(c.clock), trace.WithRingSize(simTraceRing), trace.WithSampling(0))
+	c.collector.Attach(t)
+	return t
+}
+
+// Tracing reports whether per-query tracing is enabled.
+func (c *Cluster) Tracing() bool { return c.collector != nil }
+
+// TraceCollector returns the cluster's span collector (nil when
+// tracing is disabled).
+func (c *Cluster) TraceCollector() *trace.Collector { return c.collector }
+
+// DriverTracer returns the tracer scenario drivers root query traces
+// on (nil when tracing is disabled).
+func (c *Cluster) DriverTracer() *trace.Tracer { return c.driverTr }
 
 // NumSuperPeers returns the super-peer count (0 outside FastTrack).
 func (c *Cluster) NumSuperPeers() int { return len(c.supers) }

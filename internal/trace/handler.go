@@ -1,0 +1,60 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// Handler serves assembled traces from a collector — mounted at
+// /debug/traces on up2pd's ops listener. Query parameters:
+//
+//	n=10           how many traces (capped at 100)
+//	order=slowest  slowest-first by root duration (default: recent)
+//	proto=dht      keep traces touching this protocol
+//	community=X    keep traces touching this community
+//	format=text    ASCII waterfalls instead of JSON
+func Handler(c *Collector) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := 10
+		if v := r.URL.Query().Get("n"); v != "" {
+			if parsed, err := strconv.Atoi(v); err == nil && parsed > 0 {
+				n = parsed
+			}
+		}
+		if n > 100 {
+			n = 100
+		}
+		f := Filter{
+			Proto:     r.URL.Query().Get("proto"),
+			Community: r.URL.Query().Get("community"),
+		}
+		var trees []*Tree
+		order := r.URL.Query().Get("order")
+		if order == "slowest" {
+			trees = c.Slowest(f, n)
+		} else {
+			order = "recent"
+			trees = c.Recent(f, n)
+		}
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			for _, t := range trees {
+				w.Write([]byte(t.Waterfall()))
+				w.Write([]byte("\n"))
+			}
+			return
+		}
+		if trees == nil {
+			trees = []*Tree{} // an empty surface is [], not null
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			Order  string  `json:"order"`
+			Count  int     `json:"count"`
+			Traces []*Tree `json:"traces"`
+		}{Order: order, Count: len(trees), Traces: trees})
+	})
+}

@@ -1,0 +1,178 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// spanJSON is the wire shape of one span in an exported tree. Start
+// times are offsets from the root span's start in microseconds, so
+// the rendering is independent of the clock epoch (a virtual-clock
+// trace serializes identically across runs).
+type spanJSON struct {
+	Op         string     `json:"op"`
+	Node       string     `json:"node"`
+	Peer       string     `json:"peer,omitempty"`
+	Proto      string     `json:"proto,omitempty"`
+	Community  string     `json:"community,omitempty"`
+	OffsetUS   int64      `json:"offset_us"`
+	DurationUS int64      `json:"duration_us"`
+	Msgs       int64      `json:"msgs,omitempty"`
+	Bytes      int64      `json:"bytes,omitempty"`
+	Err        string     `json:"err,omitempty"`
+	Children   []spanJSON `json:"children,omitempty"`
+}
+
+type treeJSON struct {
+	Trace   string   `json:"trace"`
+	Partial bool     `json:"partial,omitempty"`
+	Spans   int      `json:"spans"`
+	Root    spanJSON `json:"root"`
+}
+
+// MarshalJSON renders the tree with start offsets relative to the
+// root.
+func (t *Tree) MarshalJSON() ([]byte, error) {
+	return json.Marshal(treeJSON{
+		Trace:   fmt.Sprintf("%016x", t.TraceID()),
+		Partial: t.Partial,
+		Spans:   t.Spans,
+		Root:    exportNode(t.Root, t.Root.Span.Start),
+	})
+}
+
+func exportNode(n *Node, epoch time.Time) spanJSON {
+	out := spanJSON{
+		Op:         n.Span.Op,
+		Node:       n.Span.Node,
+		Peer:       n.Span.Peer,
+		Proto:      n.Span.Proto,
+		Community:  n.Span.Community,
+		OffsetUS:   n.Span.Start.Sub(epoch).Microseconds(),
+		DurationUS: n.Span.Duration.Microseconds(),
+		Msgs:       n.Span.Msgs,
+		Bytes:      n.Span.Bytes,
+		Err:        n.Span.Err,
+	}
+	for _, ch := range n.Children {
+		out.Children = append(out.Children, exportNode(ch, epoch))
+	}
+	return out
+}
+
+// barWidth is the waterfall bar column width in characters.
+const barWidth = 32
+
+// Waterfall renders the tree as an ASCII waterfall: one line per
+// span with a proportional time bar, start offset, duration, and
+// message/byte attribution. Simulated handler spans are points (the
+// virtual clock freezes during a cascade), so their hop timing shows
+// up as bar position rather than bar length.
+func (t *Tree) Waterfall() string {
+	epoch := t.Root.Span.Start
+	// Scale the bar to the latest span end seen anywhere in the tree
+	// (>= root duration by the completeness property, but partial or
+	// in-flight trees may exceed it).
+	total := t.Duration()
+	t.Walk(func(n *Node) {
+		if end := n.Span.Start.Sub(epoch) + n.Span.Duration; end > total {
+			total = end
+		}
+	})
+	if total <= 0 {
+		total = 1
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %016x  spans=%d  root=%s", t.TraceID(), t.Spans, t.Root.Span.Op)
+	if t.Root.Span.Community != "" {
+		fmt.Fprintf(&b, "  community=%s", t.Root.Span.Community)
+	}
+	fmt.Fprintf(&b, "  duration=%s", t.Duration())
+	if t.Partial {
+		b.WriteString("  (partial)")
+	}
+	b.WriteByte('\n')
+
+	var walk func(n *Node, prefix string, last bool, depth int)
+	walk = func(n *Node, prefix string, last bool, depth int) {
+		branch, childPrefix := "", ""
+		if depth > 0 {
+			if last {
+				branch, childPrefix = prefix+"`- ", prefix+"   "
+			} else {
+				branch, childPrefix = prefix+"|- ", prefix+"|  "
+			}
+		}
+		label := branch + n.Span.Op
+		if n.Span.Peer != "" {
+			label += " ->" + n.Span.Peer
+		}
+		off := n.Span.Start.Sub(epoch)
+		fmt.Fprintf(&b, "%-44s %-10s |%s| %8s +%-8s", clip(label, 44), clip(n.Span.Node, 10),
+			bar(off, n.Span.Duration, total), fmtDur(off), fmtDur(n.Span.Duration))
+		if n.Span.Msgs > 0 || n.Span.Bytes > 0 {
+			fmt.Fprintf(&b, " msgs=%d bytes=%d", n.Span.Msgs, n.Span.Bytes)
+		}
+		if n.Span.Err != "" {
+			fmt.Fprintf(&b, " err=%s", n.Span.Err)
+		}
+		b.WriteByte('\n')
+		for i, ch := range n.Children {
+			walk(ch, childPrefix, i == len(n.Children)-1, depth+1)
+		}
+	}
+	walk(t.Root, "", true, 0)
+	return b.String()
+}
+
+// bar draws a fixed-width timeline bar: '#' over the span's
+// duration, '.' marking a zero-duration point span.
+func bar(off, dur, total time.Duration) string {
+	start := int(int64(off) * barWidth / int64(total))
+	if start >= barWidth {
+		start = barWidth - 1
+	}
+	width := int(int64(dur) * barWidth / int64(total))
+	if width < 1 {
+		width = 1
+	}
+	if start+width > barWidth {
+		width = barWidth - start
+	}
+	cells := make([]byte, barWidth)
+	for i := range cells {
+		cells[i] = ' '
+	}
+	mark := byte('#')
+	if dur == 0 {
+		mark = '.'
+	}
+	for i := 0; i < width; i++ {
+		cells[start+i] = mark
+	}
+	return string(cells)
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%dus", d.Microseconds())
+	}
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	if n <= 1 {
+		return s[:n]
+	}
+	return s[:n-1] + "~"
+}

@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestWaterfall(t *testing.T) {
+	col, _ := buildTestTrace(t)
+	trees := col.Assemble(Filter{})
+	if len(trees) != 1 {
+		t.Fatalf("assembled %d trees", len(trees))
+	}
+	w := trees[0].Waterfall()
+	header := fmt.Sprintf("trace %016x  spans=3", trees[0].TraceID())
+	if !strings.Contains(w, header) {
+		t.Errorf("waterfall missing header %q:\n%s", header, w)
+	}
+	for _, want := range []string{"query", "search", "driver", "peer000", "peer001", "`- ", "50.0ms", "msgs=2 bytes=128"} {
+		if !strings.Contains(w, want) {
+			t.Errorf("waterfall missing %q:\n%s", want, w)
+		}
+	}
+}
+
+func TestTreeMarshalJSON(t *testing.T) {
+	col, _ := buildTestTrace(t)
+	tree := col.Assemble(Filter{})[0]
+	raw, err := json.Marshal(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Trace   string `json:"trace"`
+		Partial bool   `json:"partial"`
+		Spans   int    `json:"spans"`
+		Root    struct {
+			Op         string `json:"op"`
+			Node       string `json:"node"`
+			OffsetUS   int64  `json:"offset_us"`
+			DurationUS int64  `json:"duration_us"`
+			Children   []struct {
+				Op       string `json:"op"`
+				Children []struct {
+					Op       string `json:"op"`
+					OffsetUS int64  `json:"offset_us"`
+				} `json:"children"`
+			} `json:"children"`
+		} `json:"root"`
+	}
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Trace != fmt.Sprintf("%016x", tree.TraceID()) {
+		t.Errorf("trace field = %q", got.Trace)
+	}
+	if got.Partial || got.Spans != 3 {
+		t.Errorf("partial=%v spans=%d, want false/3", got.Partial, got.Spans)
+	}
+	if got.Root.Op != "query" || got.Root.Node != "driver" {
+		t.Errorf("root = %s@%s", got.Root.Op, got.Root.Node)
+	}
+	if got.Root.OffsetUS != 0 || got.Root.DurationUS != 50_000 {
+		t.Errorf("root offset/duration = %d/%d us, want 0/50000", got.Root.OffsetUS, got.Root.DurationUS)
+	}
+	if len(got.Root.Children) != 1 || len(got.Root.Children[0].Children) != 1 {
+		t.Fatalf("tree shape wrong: %s", raw)
+	}
+	if off := got.Root.Children[0].Children[0].OffsetUS; off != 25_000 {
+		t.Errorf("grandchild offset = %d us, want 25000", off)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	col, _ := buildTestTrace(t)
+	h := Handler(col)
+
+	// Default: JSON envelope, recent order.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var env struct {
+		Order  string            `json:"order"`
+		Count  int               `json:"count"`
+		Traces []json.RawMessage `json:"traces"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, rec.Body.String())
+	}
+	if env.Order != "recent" || env.Count != 1 || len(env.Traces) != 1 {
+		t.Errorf("envelope = %+v", env)
+	}
+
+	// order=slowest is echoed back.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?order=slowest&n=5", nil))
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Order != "slowest" || env.Count != 1 {
+		t.Errorf("slowest envelope = %+v", env)
+	}
+
+	// Filters that match nothing yield an empty, well-formed envelope.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?proto=dht", nil))
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Count != 0 {
+		t.Errorf("proto=dht count = %d, want 0", env.Count)
+	}
+
+	// format=text renders waterfalls.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?format=text", nil))
+	if body := rec.Body.String(); !strings.Contains(body, "trace ") || !strings.Contains(body, "query") {
+		t.Errorf("text format missing waterfall:\n%s", body)
+	}
+}

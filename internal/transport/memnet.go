@@ -352,6 +352,15 @@ func (e *memEndpoint) SetHandler(h Handler) {
 
 func (e *memEndpoint) Synchronous() bool { return true }
 
+// ChainOffset returns the arrival virtual time of the message this
+// endpoint is currently handling (zero outside a handler) — see
+// transport.ChainOffset.
+func (e *memEndpoint) ChainOffset() time.Duration {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.vt
+}
+
 func (e *memEndpoint) Close() error {
 	e.mu.Lock()
 	e.closed = true

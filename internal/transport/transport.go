@@ -10,6 +10,7 @@ package transport
 
 import (
 	"errors"
+	"time"
 
 	"repro/internal/errs"
 )
@@ -19,11 +20,19 @@ type PeerID string
 
 // Message is one protocol datagram. Payload encoding is the p2p
 // layer's concern (JSON in this implementation).
+//
+// TraceID/SpanID carry the distributed-tracing context as header
+// fields, deliberately outside Payload: the simulator's golden-trace
+// hash folds only From/To/Type/Payload, and the TCP framing omits
+// zero values, so enabling tracing leaves both the hash and the
+// untraced wire bytes bit-identical.
 type Message struct {
 	From    PeerID `json:"from"`
 	To      PeerID `json:"to"`
 	Type    string `json:"type"`
 	Payload []byte `json:"payload"`
+	TraceID uint64 `json:"trace_id,omitempty"`
+	SpanID  uint64 `json:"span_id,omitempty"`
 }
 
 // Handler consumes inbound messages. Handlers must not block
@@ -59,6 +68,20 @@ var (
 	ErrDropped     error = errs.New("transport.dropped", "transport: message dropped")
 	ErrPartitioned error = errs.New("transport.partitioned", "transport: peers partitioned")
 )
+
+// ChainOffset returns the cumulative virtual latency of the delivery
+// chain currently being handled on ep, when the transport tracks one
+// (the in-memory simulated network does; real transports return
+// zero). Message handlers use it to timestamp trace spans at their
+// true virtual arrival instant: the simulator's clock does not
+// advance while a synchronous cascade runs, so without the offset
+// every span in a flood would appear to start at the same instant.
+func ChainOffset(ep Endpoint) time.Duration {
+	if co, ok := ep.(interface{ ChainOffset() time.Duration }); ok {
+		return co.ChainOffset()
+	}
+	return 0
+}
 
 // IsPeerDead reports whether a Send error definitively means the
 // destination peer has left the network (its endpoint closed or was

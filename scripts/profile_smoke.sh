@@ -1,0 +1,56 @@
+#!/bin/sh
+# profile-smoke: boot an up2pd daemon with the pprof debug listener
+# enabled, assert the profiling surface answers on the debug address
+# only, and pull one real profile. Run via `make profile-smoke`.
+set -eu
+
+bin="$1"
+p2p=127.0.0.1:7975
+http=127.0.0.1:8975
+debug=127.0.0.1:9975
+pid=
+trap '[ -n "$pid" ] && kill "$pid" 2>/dev/null' EXIT
+
+wait_health() {
+    i=0
+    until curl -sf "http://$1/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -ge 50 ]; then
+            echo "profile-smoke: daemon never served /healthz on $1" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
+"$bin" -mode gnutella -p2p "$p2p" -http "$http" -debug-addr "$debug" -seed designpatterns &
+pid=$!
+wait_health "$http"
+
+echo "== /debug/pprof/ on $debug"
+index=$(curl -sf "http://$debug/debug/pprof/")
+echo "$index" | grep -q 'goroutine'
+echo "$index" | grep -q 'heap'
+
+# A real profile must download and be non-empty (gzip'd protobuf).
+curl -sf "http://$debug/debug/pprof/heap" -o /tmp/up2pd-heap.pprof
+[ -s /tmp/up2pd-heap.pprof ]
+rm -f /tmp/up2pd-heap.pprof
+
+goroutines=$(curl -sf "http://$debug/debug/pprof/goroutine?debug=1" | head -1)
+echo "$goroutines"
+echo "$goroutines" | grep -q '^goroutine profile:'
+
+# The public ops address must NOT expose pprof: profiling stays on the
+# operator-only listener.
+code=$(curl -s -o /dev/null -w '%{http_code}' "http://$http/debug/pprof/")
+if [ "$code" = "200" ]; then
+    echo "profile-smoke: pprof leaked onto the public HTTP address" >&2
+    exit 1
+fi
+
+kill "$pid"
+wait "$pid" || true
+pid=
+
+echo "profile-smoke: OK"

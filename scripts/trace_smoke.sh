@@ -1,0 +1,62 @@
+#!/bin/sh
+# trace-smoke: boot an up2pd daemon with full trace sampling, issue a
+# traced query through the web search path, and assert /debug/traces
+# serves a well-formed span tree for it. Run via `make trace-smoke`.
+set -eu
+
+bin="$1"
+p2p=127.0.0.1:7974
+http=127.0.0.1:8974
+pid=
+trap '[ -n "$pid" ] && kill "$pid" 2>/dev/null' EXIT
+
+wait_health() {
+    i=0
+    until curl -sf "http://$1/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -ge 50 ]; then
+            echo "trace-smoke: daemon never served /healthz on $1" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
+"$bin" -mode gnutella -p2p "$p2p" -http "$http" -seed designpatterns -trace-sample 1 &
+pid=$!
+wait_health "$http"
+
+# Before any query, the trace surface must be up and empty-but-valid.
+empty=$(curl -sf "http://$http/debug/traces")
+echo "$empty" | jq -e '.count == 0 and .traces == []' >/dev/null
+
+# A web search roots a trace in the servent and propagates it into the
+# protocol layer. The root community always exists and holds the seeded
+# community document, so searching it needs no discovered state.
+seeded=$(curl -sf "http://$http/healthz" | jq -r '.docs')
+[ "$seeded" -ge 1 ]
+curl -sfG "http://$http/search" --data-urlencode "community=up2p-root" --data-urlencode "filter=(name=*)" >/dev/null
+
+echo "== /debug/traces (JSON)"
+traces=$(curl -sf "http://$http/debug/traces?order=slowest&n=5")
+echo "$traces" | jq '{order, count, root: .traces[0].root.op, spans: .traces[0].spans}'
+echo "$traces" | jq -e '.order == "slowest"' >/dev/null
+echo "$traces" | jq -e '.count >= 1' >/dev/null
+echo "$traces" | jq -e '.traces[0].root.op == "query"' >/dev/null
+echo "$traces" | jq -e '.traces[0].spans >= 1' >/dev/null
+echo "$traces" | jq -e '.traces[0].root.duration_us >= 0' >/dev/null
+# Every span the tree reports must actually be reachable from the root:
+# count the nodes in the rendered tree and compare with the span count.
+echo "$traces" | jq -e '.traces[0] | .spans == ([.root | recurse(.children[]?)] | length)' >/dev/null
+
+echo "== /debug/traces?format=text"
+text=$(curl -sf "http://$http/debug/traces?format=text&n=1")
+echo "$text"
+echo "$text" | grep -q '^trace [0-9a-f]\{16\}  spans='
+echo "$text" | grep -q 'query'
+
+kill "$pid"
+wait "$pid" || true
+pid=
+
+echo "trace-smoke: OK"
