@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race fmt vet bench-smoke determinism sim-smoke ops-smoke crash-smoke trace-smoke profile-smoke ci
+.PHONY: build test race fmt vet bench-smoke determinism sim-smoke hotspot-smoke ops-smoke crash-smoke trace-smoke profile-smoke ci
 
 build:
 	$(GO) build ./...
@@ -49,6 +49,13 @@ sim-smoke:
 	$(GO) run ./cmd/up2pbench -run E10 -scn-peers 150 -scn-queries 50
 	$(GO) run ./cmd/up2pbench -run E14 -scn-peers 120 -scn-queries 40
 
+# Hotspot smoke: the reduced flash-crowd scenario (100-peer DHT, one
+# bursted community filter) must show the caching STORE at least
+# halving the hottest holder's burst load with full recall, and the
+# cache-enabled run must stay deterministic (-count=2).
+hotspot-smoke:
+	$(GO) test ./internal/sim -run FlashCrowd -count=2
+
 # Ops-surface smoke: boot up2pd, curl /metrics (both formats) and
 # /healthz, and assert the output is well-formed (needs curl + jq).
 ops-smoke:
@@ -75,4 +82,4 @@ profile-smoke:
 crash-smoke:
 	$(GO) test -race -count=1 -run 'WAL|Crash|Poisoned|ConsistentCut|CorruptMiddle' ./internal/index ./internal/core
 
-ci: build fmt vet test race bench-smoke determinism sim-smoke ops-smoke trace-smoke profile-smoke crash-smoke
+ci: build fmt vet test race bench-smoke determinism sim-smoke hotspot-smoke ops-smoke trace-smoke profile-smoke crash-smoke

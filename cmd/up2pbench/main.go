@@ -1,10 +1,11 @@
 // Command up2pbench runs the experiment suite of EXPERIMENTS.md and
-// prints every table/figure reproduction (F1–F3, E1–E15, E18).
+// prints every table/figure reproduction (F1–F3, E1–E16, E18).
 //
 //	up2pbench                          # run everything
 //	up2pbench -run E3                  # one experiment
 //	up2pbench -run E10 -scn-peers 200  # scenario experiment, reduced scale
 //	up2pbench -run E13 -dht-k 8        # DHT comparison, smaller replication
+//	up2pbench -run E16 -e16-burst 100  # flash crowd, reduced burst
 //	up2pbench -run E18 -wal-docs 50    # WAL durability cost, reduced scale
 //	up2pbench -list                    # list experiments
 package main
@@ -29,7 +30,7 @@ func main() {
 
 func run() error {
 	var (
-		only = flag.String("run", "", "run a single experiment by ID (F1..F3, E1..E15, E18)")
+		only = flag.String("run", "", "run a single experiment by ID (F1..F3, E1..E16, E18)")
 		list = flag.Bool("list", false, "list experiments and exit")
 		// E9 (store scalability) workload knobs.
 		storeWorkers = flag.Int("store-workers", bench.StoreBenchConfig.Workers,
@@ -48,7 +49,7 @@ func run() error {
 		scnQueries = flag.Int("scn-queries", bench.ScenarioBenchConfig.Queries,
 			"E10-E12: queries per scenario run")
 		scnSeed = flag.Int64("scn-seed", bench.ScenarioBenchConfig.Seed,
-			"E10-E15: scenario seed (same seed -> identical trace)")
+			"E10-E16: scenario seed (same seed -> identical trace)")
 		// E13–E15 (DHT comparison) knobs.
 		dhtK = flag.Int("dht-k", bench.DHTBenchConfig.K,
 			"E13-E15: DHT bucket capacity / replication factor")
@@ -56,6 +57,13 @@ func run() error {
 			"E13-E15: DHT lookup parallelism")
 		e13Peers = flag.Int("e13-max-peers", bench.DHTBenchConfig.E13MaxPeers,
 			"E13: cap on the population ladder")
+		// E16 (flash-crowd hot key) knobs.
+		e16Peers = flag.Int("e16-peers", bench.HotspotBenchConfig.Peers,
+			"E16: DHT population under the flash crowd")
+		e16Burst = flag.Int("e16-burst", bench.HotspotBenchConfig.Burst,
+			"E16: queries in the flash-crowd burst")
+		e16Split = flag.Int("e16-split-threshold", bench.HotspotBenchConfig.SplitThreshold,
+			"E16: per-holder record count that triggers hot-key splitting")
 		// E18 (WAL durability) knobs.
 		walDocs = flag.Int("wal-docs", bench.WALBenchConfig.DocsPerCommunity,
 			"E18: documents per community in the ingest workloads")
@@ -74,6 +82,9 @@ func run() error {
 	bench.DHTBenchConfig.K = *dhtK
 	bench.DHTBenchConfig.Alpha = *dhtAlpha
 	bench.DHTBenchConfig.E13MaxPeers = *e13Peers
+	bench.HotspotBenchConfig.Peers = *e16Peers
+	bench.HotspotBenchConfig.Burst = *e16Burst
+	bench.HotspotBenchConfig.SplitThreshold = *e16Split
 	bench.WALBenchConfig.DocsPerCommunity = *walDocs
 	if *walBatches != "" {
 		var lens []int

@@ -49,6 +49,12 @@ type Config struct {
 	// loss) or "os" (page-cache flushing; survives process crash
 	// only). Env: UP2P_FSYNC.
 	Fsync string
+	// DHTCache enables Kademlia's caching STORE in dht mode: after a
+	// successful FIND_VALUE the querier replicates the result set onto
+	// the closest lookup-path node that did not hold it, with a halved
+	// TTL, so flash crowds terminate before reaching the key's
+	// holders. Ignored outside dht mode. Env: UP2P_DHT_CACHE (1/true).
+	DHTCache bool
 	// TraceSample is the head-based trace sampling rate in [0,1]: that
 	// fraction of queries this daemon roots become recorded span trees
 	// on /debug/traces. 0 (default) disables tracing entirely — the
@@ -92,6 +98,14 @@ func LoadConfig(args []string, getenv func(string) string) (Config, error) {
 		}
 		walDefault = b
 	}
+	cacheDefault := false
+	if v := getenv("UP2P_DHT_CACHE"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return Config{}, fmt.Errorf("UP2P_DHT_CACHE: %v", err)
+		}
+		cacheDefault = b
+	}
 	sampleDefault := 0.0
 	if v := getenv("UP2P_TRACE_SAMPLE"); v != "" {
 		f, err := strconv.ParseFloat(v, 64)
@@ -113,6 +127,7 @@ func LoadConfig(args []string, getenv func(string) string) (Config, error) {
 	fs.StringVar(&cfg.StateDir, "state", env("UP2P_STATE", ""), "directory for persistent state, loaded at start and saved on shutdown (env UP2P_STATE)")
 	fs.BoolVar(&cfg.WAL, "wal", walDefault, "write-ahead log the store under <state>/wal: acked writes survive crashes (env UP2P_WAL)")
 	fs.StringVar(&cfg.Fsync, "fsync", env("UP2P_FSYNC", string(index.FsyncAlways)), "WAL fsync policy: always | os (env UP2P_FSYNC)")
+	fs.BoolVar(&cfg.DHTCache, "dht-cache", cacheDefault, "dht mode: cache FIND_VALUE results on lookup-path nodes with halved TTL (env UP2P_DHT_CACHE)")
 	fs.Float64Var(&cfg.TraceSample, "trace-sample", sampleDefault, "per-query trace sampling rate in [0,1]; 0 disables tracing (env UP2P_TRACE_SAMPLE)")
 	fs.StringVar(&cfg.DebugAddr, "debug-addr", env("UP2P_DEBUG", ""), "separate listener for net/http/pprof; empty disables (env UP2P_DEBUG)")
 	fs.StringVar(&cfg.LogFormat, "log-format", env("UP2P_LOG_FORMAT", "text"), "log output format: text | json (env UP2P_LOG_FORMAT)")

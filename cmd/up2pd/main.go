@@ -256,7 +256,7 @@ func buildServent(cfg Config, node *transport.TCPNode, reg *metrics.Registry, tr
 			return h
 		}
 	case "dht":
-		d := dht.NewNode(node, store, dht.Config{})
+		d := dht.NewNode(node, store, dht.Config{CacheRecords: cfg.DHTCache})
 		d.SetMetrics(reg)
 		d.SetTracer(tracer)
 		var boot []transport.PeerID

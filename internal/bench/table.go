@@ -1,10 +1,11 @@
 // Package bench implements the experiment harness behind
 // EXPERIMENTS.md: one runner per figure (F1–F3) and per quantified
-// claim (E1–E15, E18), each reproducing the corresponding artifact of
+// claim (E1–E16, E18), each reproducing the corresponding artifact of
 // the paper — or extending its evaluation, as the discrete-event
 // scenario experiments E10–E12, the structured-overlay comparison
-// E13–E15, and the crash-safe persistence measurement E18 do — as a
-// printed table. All runs are seeded and deterministic.
+// E13–E15, the flash-crowd hotspot measurement E16, and the
+// crash-safe persistence measurement E18 do — as a printed table. All
+// runs are seeded and deterministic.
 package bench
 
 import (
@@ -14,7 +15,7 @@ import (
 
 // Table is one experiment's output: paper-style rows.
 type Table struct {
-	// ID is the experiment identifier (F1..F3, E1..E15, E18).
+	// ID is the experiment identifier (F1..F3, E1..E16, E18).
 	ID string
 	// Title describes the experiment.
 	Title string
@@ -92,7 +93,8 @@ func All() []Runner {
 		{"E13", "search cost scaling: flooding vs Kademlia DHT", RunE13},
 		{"E14", "churn sweep: flooding vs DHT with refresh repair", RunE14},
 		{"E15", "loss sweep: flooding vs DHT", RunE15},
-		// E16/E17 are reserved for ROADMAP items (postings compaction,
+		{"E16", "flash-crowd hot key: caching STORE + key splitting", RunE16},
+		// E17 is reserved for ROADMAP items (postings compaction,
 		// distributed keyword search).
 		{"E18", "crash-safe persistence: WAL overhead and recovery", RunE18},
 	}

@@ -53,6 +53,14 @@ const (
 	// DefaultRPCTimeout bounds one lookup RPC on asynchronous
 	// transports (the synchronous simulator resolves instantly).
 	DefaultRPCTimeout = time.Second
+	// DefaultMaxRecordsPerKey caps how many records one holder keeps
+	// under a single key: past it, deterministic eviction (cached
+	// entries first, then earliest-expiring primaries) keeps a flash
+	// crowd of publishes from exhausting the holder's memory.
+	DefaultMaxRecordsPerKey = 1024
+	// DefaultSplitFanout is how many attribute-hash sub-keys a hot key
+	// splits into when SplitThreshold is enabled.
+	DefaultSplitFanout = 8
 )
 
 // Config tunes a Node. The zero value selects the defaults above.
@@ -67,6 +75,28 @@ type Config struct {
 	RecordTTL time.Duration
 	// RPCTimeout bounds one lookup RPC on asynchronous transports.
 	RPCTimeout time.Duration
+	// CacheRecords enables Kademlia's caching STORE: FIND_VALUE
+	// lookups terminate at the first wave that returns records, and
+	// the querier then replicates the (complete, filter-tagged) result
+	// set onto the closest observed node that did not hold it, with a
+	// halved TTL. Under a flash crowd the cached copies spread outward
+	// from the key's neighborhood and absorb the load before it ever
+	// reaches the k holders. Off by default: enabling it changes the
+	// message trace, so golden-trace baselines keep it off.
+	CacheRecords bool
+	// SplitThreshold, when positive, splits hot keys: a holder whose
+	// record count under one community key reaches the threshold
+	// migrates those records into SplitFanout attribute-hash sub-keys
+	// and advertises the split in FIND_VALUE replies, which queriers
+	// fan into transparently. Zero disables splitting.
+	SplitThreshold int
+	// SplitFanout is the number of sub-keys a split key shards into
+	// (0 selects DefaultSplitFanout; only read when SplitThreshold is
+	// positive).
+	SplitFanout int
+	// MaxRecordsPerKey caps per-key holder state (0 selects
+	// DefaultMaxRecordsPerKey).
+	MaxRecordsPerKey int
 }
 
 func (c Config) withDefaults() Config {
@@ -81,6 +111,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RPCTimeout <= 0 {
 		c.RPCTimeout = DefaultRPCTimeout
+	}
+	if c.MaxRecordsPerKey <= 0 {
+		c.MaxRecordsPerKey = DefaultMaxRecordsPerKey
+	}
+	if c.SplitFanout <= 0 {
+		c.SplitFanout = DefaultSplitFanout
 	}
 	return c
 }
@@ -144,11 +180,38 @@ type findValueReplyPayload struct {
 	ReqID   uint64             `json:"reqId"`
 	Records []Record           `json:"records,omitempty"`
 	Peers   []transport.PeerID `json:"peers"`
+	// Split, when positive, advertises that the responder has split
+	// this key into that many attribute-hash sub-keys; the querier
+	// fans its lookup into them and merges the results.
+	Split int `json:"split,omitempty"`
+	// Complete marks records served from a cached copy for exactly the
+	// query's filter — a complete result set by construction (only
+	// full, unlimited sets are ever cache-STOREd). A value-terminating
+	// lookup may stop on a Complete reply without losing recall;
+	// ordinary holder replies carry no such guarantee (a record set,
+	// unlike Kademlia's atomic values, can be partially replicated).
+	Complete bool `json:"complete,omitempty"`
 }
 
 type storePayload struct {
 	Key     ID       `json:"key"`
 	Records []Record `json:"records"`
+	// Cached marks a caching STORE from a FIND_VALUE querier: the
+	// holder keeps the records with a halved TTL, tagged with Filter,
+	// and never lets them displace primary replicas. Cached records
+	// carry third-party providers, so the provider==sender provenance
+	// rule is relaxed for them — the copies are short-lived and
+	// age out first by construction.
+	Cached bool `json:"cached,omitempty"`
+	// Filter is the canonical filter string a cached record set is
+	// complete for; holders serve cached entries only to queries
+	// carrying the identical filter, so a cache never truncates the
+	// result set of a different query.
+	Filter string `json:"filter,omitempty"`
+	// Split marks a hot-key migration STORE: a holder redistributing
+	// its records into a sub-key's neighborhood. Like Cached it
+	// relays third-party providers, so provenance is relaxed.
+	Split bool `json:"split,omitempty"`
 }
 
 type unstorePayload struct {

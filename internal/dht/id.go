@@ -4,6 +4,8 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"hash/fnv"
+	"strconv"
 
 	"repro/internal/index"
 	"repro/internal/transport"
@@ -45,6 +47,44 @@ func KeyForCommunity(communityID string) ID { return derive("community", communi
 // KeyForDoc maps a document ID to the key its provider records
 // replicate under, for direct DocID-keyed provider lookups.
 func KeyForDoc(id index.DocID) ID { return derive("doc", string(id)) }
+
+// KeyForCommunityShard maps one attribute-hash sub-key of a split
+// community key: the shard-th slice a hot community's records spread
+// over once a holder crosses its split threshold. The domain prefix
+// keeps sub-keys disjoint from community keys, so a sub-key can never
+// itself be recognized as splittable — splitting is one level deep.
+func KeyForCommunityShard(communityID string, shard int) ID {
+	return derive("community-shard", communityID+"\x00"+strconv.Itoa(shard))
+}
+
+// RefreshTarget returns a deterministic lookup target inside bucket's
+// range of self's routing table: it shares self's bits above bucket,
+// differs at bit bucket, and takes the remaining low bits from a
+// derived hash. Looking it up (the Kademlia bucket refresh) fills that
+// bucket with peers from its distance range. Deriving the target from
+// (self, bucket) instead of drawing randomness keeps joins
+// reproducible.
+func RefreshTarget(self ID, bucket int) ID {
+	t := derive("bucket-refresh", string(self[:])+":"+strconv.Itoa(bucket))
+	bi := IDBytes - 1 - bucket/8
+	bit := uint(bucket % 8)
+	for i := 0; i < bi; i++ {
+		t[i] = self[i]
+	}
+	high := byte(0xFF) << bit << 1 // bits strictly above bucket's bit
+	t[bi] = (self[bi] & high) | (t[bi] &^ high)
+	t[bi] = (t[bi] &^ (1 << bit)) | (^self[bi] & (1 << bit))
+	return t
+}
+
+// ShardOf assigns a record to one of fanout sub-keys by hashing its
+// DocID — deterministic across holders, so every holder that splits a
+// key migrates a given record to the same sub-key.
+func ShardOf(id index.DocID, fanout int) int {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return int(h.Sum32() % uint32(fanout))
+}
 
 // XOR returns the Kademlia distance vector between two points.
 func (a ID) XOR(b ID) ID {

@@ -16,6 +16,20 @@ type valueQuery struct {
 	communityID string
 	filter      string
 	limit       int
+	// stopOnValue applies Kademlia's value-terminating FIND_VALUE:
+	// stop at the end of the first wave in which a node returned a
+	// Complete (cached, full-result-set) reply, instead of converging
+	// on the full K closest. This is what lets cached copies absorb a
+	// flash crowd — a querier that hits a cache on the lookup path
+	// never reaches the key's k holders at all. Termination requires
+	// the Complete flag: a record set, unlike Kademlia's atomic
+	// values, can be partially replicated, so stopping on just any
+	// records would silently lose recall.
+	stopOnValue bool
+	// sub marks a sub-key fan-in lookup of a split key, which must not
+	// fan in again (sub-keys live in their own derive domain and are
+	// never split, so this is belt and braces).
+	sub bool
 }
 
 // lookupOutcome is the result of one iterative lookup.
@@ -29,6 +43,19 @@ type lookupOutcome struct {
 	// rounds is how many α-wide RPC waves the lookup took: its hop
 	// count.
 	rounds int
+	// cacheTarget is the closest responded node that returned no
+	// records — Kademlia's caching-STORE recipient — valid only when
+	// hasCacheTarget is set.
+	cacheTarget    Contact
+	hasCacheTarget bool
+	// limited reports that the lookup stopped early because it had
+	// collected limit records: the set may be a truncation of the full
+	// result, so it must never be cached.
+	limited bool
+	// fromCache reports that the lookup value-terminated on a Complete
+	// cached reply: the record set already includes any sub-key
+	// fan-in results it was cached with, so the caller skips fan-in.
+	fromCache bool
 }
 
 // peerState tracks one shortlist entry through a lookup.
@@ -66,6 +93,11 @@ func (n *Node) lookup(tctx trace.Context, target ID, vq *valueQuery) lookupOutco
 		known[c.Peer] = true
 	}
 	recs := make(map[recordKey]Record)
+	// returned marks peers whose reply carried records (they hold the
+	// value, so they are not cache-STORE candidates); splitFanout is
+	// the widest sub-key split any holder advertised.
+	returned := make(map[transport.PeerID]bool)
+	splitFanout := 0
 
 	type rpc struct {
 		contact Contact
@@ -127,6 +159,15 @@ func (n *Node) lookup(tctx trace.Context, target ID, vq *valueQuery) lookupOutco
 				state[r.contact.Peer] = stateFailed
 				continue
 			}
+			if len(reply.Records) > 0 {
+				returned[r.contact.Peer] = true
+			}
+			if reply.Complete {
+				out.fromCache = true
+			}
+			if reply.Split > splitFanout {
+				splitFanout = reply.Split
+			}
 			for _, rec := range reply.Records {
 				recs[recordKey{rec.DocID, rec.Provider}] = rec
 			}
@@ -143,12 +184,64 @@ func (n *Node) lookup(tctx trace.Context, target ID, vq *valueQuery) lookupOutco
 			sortByDistance(short, target)
 		}
 		wsp.Finish()
+		if vq != nil && len(recs) > 0 {
+			// Limit short-circuit: enough matches collected, the
+			// remaining convergence rounds would only cost messages.
+			// The set may be a truncation, so flag it uncacheable.
+			if vq.limit > 0 && len(recs) >= vq.limit {
+				out.limited = true
+				n.mShortcircuits.Inc()
+				break
+			}
+			// Value termination (Kademlia FIND_VALUE): a Complete
+			// cached reply ends the lookup — the flash crowd stops at
+			// the path copy instead of converging on the holders.
+			if vq.stopOnValue && out.fromCache {
+				break
+			}
+		}
 	}
 
 	for _, c := range short {
 		if state[c.Peer] == stateResponded {
 			out.contacts = append(out.contacts, c)
 			if len(out.contacts) == n.cfg.K {
+				break
+			}
+		}
+	}
+	// The caching-STORE recipient: the closest observed node that
+	// answered but did not itself return records. In a converged
+	// lookup the top-K contacts are all holders, so the scan covers
+	// the whole responded shortlist — the recipient is typically a
+	// node just outside the key's replica neighborhood, which is
+	// exactly where a cache intercepts the next querier's waves.
+	for _, c := range short {
+		if state[c.Peer] == stateResponded && !returned[c.Peer] {
+			out.cacheTarget = c
+			out.hasCacheTarget = true
+			break
+		}
+	}
+	// Transparent sub-key fan-in: when a holder advertised that this
+	// community key is split, the matching records live spread over
+	// attribute-hash sub-keys; look each one up and merge. Sub-lookups
+	// are themselves plain FIND_VALUE lookups (counted as lookups, and
+	// their rounds add to the hop count) but never fan in again.
+	if vq != nil && !vq.sub && vq.communityID != "" && splitFanout > 0 && !out.limited && !out.fromCache {
+		for shard := 0; shard < splitFanout; shard++ {
+			svq := *vq
+			svq.sub = true
+			sub := n.lookup(tctx, KeyForCommunityShard(vq.communityID, shard), &svq)
+			for _, rec := range sub.records {
+				recs[recordKey{rec.DocID, rec.Provider}] = rec
+			}
+			out.rounds += sub.rounds
+			if sub.limited {
+				out.limited = true
+			}
+			if vq.limit > 0 && len(recs) >= vq.limit {
+				out.limited = true
 				break
 			}
 		}

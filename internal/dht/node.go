@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/dsim"
 	"repro/internal/index"
@@ -39,14 +40,31 @@ type Node struct {
 	tracer *trace.Tracer
 	closed bool
 
+	// annMu guards lastAnnounce: per-key memory of the last announce
+	// (holder set and instant), which is what lets Refresh skip
+	// republishing keys whose replicas are still where they were put.
+	annMu        sync.Mutex
+	lastAnnounce map[ID]announceState
+
 	// Telemetry handles, resolved by SetMetrics (default: a private
 	// registry, preserving per-node semantics for LookupCounters).
-	reg        *metrics.Registry
-	nm         *p2p.NodeMetrics
-	mLookups   *metrics.Counter
-	mRounds    *metrics.Counter
-	mContacted *metrics.Counter
-	mFanout    *metrics.Counter
+	reg            *metrics.Registry
+	nm             *p2p.NodeMetrics
+	mLookups       *metrics.Counter
+	mRounds        *metrics.Counter
+	mContacted     *metrics.Counter
+	mFanout        *metrics.Counter
+	mShortcircuits *metrics.Counter
+	mCacheStores   *metrics.Counter
+	mKeySplits     *metrics.Counter
+	mRepubSkipped  *metrics.Counter
+}
+
+// announceState remembers one key's last replication: who got the
+// records and when.
+type announceState struct {
+	holders []transport.PeerID
+	at      time.Time
 }
 
 var _ p2p.Network = (*Node)(nil)
@@ -59,14 +77,15 @@ func NewNode(ep transport.Endpoint, store *index.Store, cfg Config) *Node {
 	cfg = cfg.withDefaults()
 	self := NodeIDFor(ep.ID())
 	n := &Node{
-		ep:      ep,
-		store:   store,
-		cfg:     cfg,
-		self:    self,
-		table:   NewTable(self, cfg.K),
-		records: newRecordStore(cfg.RecordTTL),
-		pending: p2p.NewPendingTable(),
-		clk:     dsim.Wall,
+		ep:           ep,
+		store:        store,
+		cfg:          cfg,
+		self:         self,
+		table:        NewTable(self, cfg.K),
+		records:      newRecordStore(cfg.RecordTTL, cfg.MaxRecordsPerKey),
+		pending:      p2p.NewPendingTable(),
+		clk:          dsim.Wall,
+		lastAnnounce: make(map[ID]announceState),
 	}
 	n.SetMetrics(metrics.NewRegistry())
 	ep.SetHandler(n.handle)
@@ -87,7 +106,15 @@ func (n *Node) SetMetrics(reg *metrics.Registry) {
 	n.mRounds = reg.Counter("dht.lookup_rounds")
 	n.mContacted = reg.Counter("dht.peers_contacted")
 	n.mFanout = reg.Counter("dht.store_fanout")
-	n.records.setExpiredCounter(reg.Counter("dht.records_expired"))
+	n.mShortcircuits = reg.Counter("dht.lookup_shortcircuits")
+	n.mCacheStores = reg.Counter("dht.cache_stores")
+	n.mKeySplits = reg.Counter("dht.key_splits")
+	n.mRepubSkipped = reg.Counter("dht.republishes_skipped")
+	n.records.setCounters(
+		reg.Counter("dht.records_expired"),
+		reg.Counter("dht.records_evicted"),
+		reg.Counter("dht.cache_hits"),
+	)
 }
 
 // SetTracer installs the node's span recorder (nil disables tracing,
@@ -128,6 +155,14 @@ func (n *Node) SetAttachmentProvider(p p2p.AttachmentProvider) {
 // TableLen returns the number of live routing-table contacts.
 func (n *Node) TableLen() int { return n.table.Len() }
 
+// ClosestContacts returns up to count live routing-table contacts
+// sorted by XOR distance to target — routing introspection for debug
+// surfaces and experiments (who would this node's next lookup wave
+// hit?).
+func (n *Node) ClosestContacts(target ID, count int) []Contact {
+	return n.table.Closest(target, count)
+}
+
 // RecordCount returns how many unexpired records this node holds for
 // the keyspace.
 func (n *Node) RecordCount() int { return n.records.len(n.clk.Now()) }
@@ -142,7 +177,17 @@ func (n *Node) Metrics() *metrics.Registry {
 // Bootstrap seeds the routing table with the given peers and runs the
 // Kademlia join: an iterative lookup of the node's own ID, which
 // populates the table with the neighborhood and inserts this node
-// into the tables of everyone contacted.
+// into the tables of everyone contacted, followed by a refresh of
+// every bucket farther out than the closest neighbor (a lookup of a
+// deterministic ID in each bucket's range, per Kademlia §2.3).
+//
+// The bucket refreshes matter beyond coverage: they fill the far
+// buckets with ordinary peers from each distance range *before* any
+// key sees traffic. A full bucket never displaces a live contact, so
+// the nodes closest to some later-popular key stay out of most
+// routing tables (parked in replacement caches) exactly as in a
+// long-lived deployment — without this step every table converged on
+// the first hot key's holders and lookups collapsed to one hop.
 func (n *Node) Bootstrap(peers ...transport.PeerID) {
 	for _, p := range peers {
 		if p != n.ep.ID() {
@@ -150,6 +195,12 @@ func (n *Node) Bootstrap(peers ...transport.PeerID) {
 		}
 	}
 	n.lookup(trace.Context{}, n.self, nil)
+	if cs := n.table.Closest(n.self, 1); len(cs) > 0 {
+		nearest := BucketIndex(n.self, cs[0].ID)
+		for b := nearest + 1; b < IDBits; b++ {
+			n.lookup(trace.Context{}, RefreshTarget(n.self, b), nil)
+		}
+	}
 }
 
 // Publish implements p2p.Network: store locally, then replicate the
@@ -220,14 +271,28 @@ func recordFor(doc *index.Document, provider transport.PeerID) Record {
 }
 
 // storeRecords looks up the key's closest nodes and replicates recs
-// onto them. The node keeps a local replica too when it belongs to
-// the key's neighborhood (fewer than k known holders, or self closer
-// than the k-th) — slight over-replication beats a coverage hole.
+// onto them.
 func (n *Node) storeRecords(tctx trace.Context, key ID, recs []Record) {
 	out := n.lookup(tctx, key, nil)
-	targets := out.contacts
+	n.storeToTargets(tctx, key, recs, out.contacts, false)
+}
+
+// storeToTargets replicates recs onto targets (a key's closest nodes,
+// already looked up). The node keeps a local replica too when it
+// belongs to the key's neighborhood (fewer than k known holders, or
+// self closer than the k-th) — slight over-replication beats a
+// coverage hole. split marks hot-key migration STOREs (relaxed
+// provenance on the receiver; not remembered for adaptive refresh,
+// which tracks only this node's own announcements).
+func (n *Node) storeToTargets(tctx trace.Context, key ID, recs []Record, targets []Contact, split bool) {
 	if len(targets) < n.cfg.K || CompareDistance(n.self, targets[len(targets)-1].ID, key) < 0 {
 		n.records.put(key, recs, n.clk.Now())
+	}
+	if !split {
+		st := announceState{holders: contactPeers(targets), at: n.clk.Now()}
+		n.annMu.Lock()
+		n.lastAnnounce[key] = st
+		n.annMu.Unlock()
 	}
 	// Chunk payloads are marshaled once, then replicated target-major so
 	// each replica is one trace span covering all its chunk frames.
@@ -237,7 +302,7 @@ func (n *Node) storeRecords(tctx trace.Context, key ID, recs []Record) {
 		if end > len(recs) {
 			end = len(recs)
 		}
-		payloads = append(payloads, marshal(storePayload{Key: key, Records: recs[start:end]}))
+		payloads = append(payloads, marshal(storePayload{Key: key, Records: recs[start:end], Split: split}))
 	}
 	for _, t := range targets {
 		sp := n.tr().Start(tctx, "store")
@@ -256,6 +321,83 @@ func (n *Node) storeRecords(tctx trace.Context, key ID, recs []Record) {
 			}
 		}
 		sp.Finish()
+	}
+}
+
+// cacheStore replicates a complete, filter-tagged result set onto the
+// closest observed non-holder: Kademlia's caching STORE. One target,
+// halved TTL on the receiver, never republished. Unlike replica
+// STOREs the set is never chunked: the receiver installs it
+// atomically (completeness is the whole point of a cached set), so it
+// must arrive as one frame.
+func (n *Node) cacheStore(tctx trace.Context, key ID, target Contact, recs []Record, filter string) {
+	sp := n.tr().Start(tctx, "cache-store")
+	sp.SetPeer(string(target.Peer))
+	sctx := sp.ContextOr(tctx)
+	payload := marshal(storePayload{Key: key, Records: recs, Cached: true, Filter: filter})
+	err := n.ep.Send(transport.Message{To: target.Peer, Type: MsgStore, Payload: payload,
+		TraceID: sctx.Trace, SpanID: sctx.Span})
+	sp.AddMsgs(1, int64(len(payload)))
+	if err != nil {
+		sp.SetErr(err)
+		if transport.IsPeerDead(err) {
+			n.table.Remove(target.Peer)
+		}
+	}
+	n.mCacheStores.Inc()
+	sp.Finish()
+}
+
+// maybeSplit checks whether a primary STORE pushed a main community
+// key over the split threshold and, if so, spills it. Only community
+// keys split: document keys hold one document's providers, and
+// sub-keys live in their own derive domain so a spill can never
+// cascade.
+func (n *Node) maybeSplit(key ID, recs []Record, count int) {
+	if n.cfg.SplitThreshold <= 0 || count < n.cfg.SplitThreshold || len(recs) == 0 {
+		return
+	}
+	communityID := recs[0].CommunityID
+	if communityID == "" || KeyForCommunity(communityID) != key {
+		return
+	}
+	n.splitKey(key, communityID)
+}
+
+// splitKey spills a hot key: every primary record under it migrates to
+// its attribute-hash sub-key's neighborhood, and FIND_VALUE replies
+// advertise the split from now on so queriers fan in. The key keeps
+// absorbing STOREs afterwards (publishers don't know about the split)
+// and spills again whenever the buffer refills — so holder state under
+// the hot key stays bounded by the threshold while lookups keep full
+// recall via buffered records plus sub-key fan-in. Cached path copies
+// are not migrated (they age out on their own), and unpublishes that
+// miss a migrated record converge via TTL expiry like any other stale
+// replica.
+func (n *Node) splitKey(key ID, communityID string) {
+	fanout := n.cfg.SplitFanout
+	n.records.markSplit(key, fanout)
+	moved := n.records.takePrimary(key, n.clk.Now())
+	if len(moved) == 0 {
+		return
+	}
+	n.mKeySplits.Inc()
+	sp := n.tr().Root("key-split")
+	sp.SetCommunity(communityID)
+	defer sp.Finish()
+	tctx := sp.Context()
+	byShard := make(map[int][]Record, fanout)
+	for _, rec := range moved {
+		shard := ShardOf(rec.DocID, fanout)
+		byShard[shard] = append(byShard[shard], rec)
+	}
+	for shard := 0; shard < fanout; shard++ {
+		recs := byShard[shard]
+		if len(recs) == 0 {
+			continue
+		}
+		out := n.lookup(tctx, KeyForCommunityShard(communityID, shard), nil)
+		n.storeToTargets(tctx, KeyForCommunityShard(communityID, shard), recs, out.contacts, true)
 	}
 }
 
@@ -314,7 +456,14 @@ func (n *Node) Search(communityID string, f query.Filter, opts p2p.SearchOptions
 	sp.SetCommunity(communityID)
 	defer sp.Finish()
 	key := KeyForCommunity(communityID)
-	out := n.lookup(sp.ContextOr(opts.Trace), key, &valueQuery{communityID: communityID, filter: f.String(), limit: opts.Limit})
+	filterStr := f.String()
+	tctx := sp.ContextOr(opts.Trace)
+	out := n.lookup(tctx, key, &valueQuery{
+		communityID: communityID,
+		filter:      filterStr,
+		limit:       opts.Limit,
+		stopOnValue: n.cfg.CacheRecords,
+	})
 	merged := make(map[recordKey]Record, len(out.records))
 	for _, rec := range out.records {
 		// Holders filter server-side; re-check here so a skewed or
@@ -324,7 +473,8 @@ func (n *Node) Search(communityID string, f query.Filter, opts p2p.SearchOptions
 		}
 		merged[recordKey{rec.DocID, rec.Provider}] = rec
 	}
-	for _, rec := range n.records.get(key, n.clk.Now(), communityID, f, 0) {
+	local, _ := n.records.get(key, n.clk.Now(), communityID, filterStr, f, 0)
+	for _, rec := range local {
 		merged[recordKey{rec.DocID, rec.Provider}] = rec
 	}
 	for _, doc := range n.store.Search(communityID, f, 0) {
@@ -336,6 +486,15 @@ func (n *Node) Search(communityID string, f query.Filter, opts p2p.SearchOptions
 		recs = append(recs, rec)
 	}
 	sortRecords(recs)
+	// Caching STORE: replicate the verified result set onto the
+	// closest observed non-holder, so the next querier for this filter
+	// terminates there without touching the k holders. Only complete
+	// sets are cached — a limit-truncated one would poison unlimited
+	// queries for the same filter.
+	if n.cfg.CacheRecords && opts.Limit == 0 && !out.limited &&
+		out.hasCacheTarget && len(out.records) > 0 && len(recs) > 0 {
+		n.cacheStore(tctx, key, out.cacheTarget, recs, filterStr)
+	}
 	if opts.Limit > 0 && len(recs) > opts.Limit {
 		recs = recs[:opts.Limit]
 	}
@@ -364,7 +523,8 @@ func (n *Node) Providers(id index.DocID) []Record {
 	for _, rec := range out.records {
 		merged[recordKey{rec.DocID, rec.Provider}] = rec
 	}
-	for _, rec := range n.records.get(KeyForDoc(id), n.clk.Now(), "", nil, 0) {
+	localProv, _ := n.records.get(KeyForDoc(id), n.clk.Now(), "", query.MatchAll{}.String(), nil, 0)
+	for _, rec := range localProv {
 		merged[recordKey{rec.DocID, rec.Provider}] = rec
 	}
 	recs := make([]Record, 0, len(merged))
@@ -444,9 +604,15 @@ func (n *Node) pingPeer(peer transport.PeerID) bool {
 // Refresh is the DHT's rehome-equivalent, run on the caller's
 // schedule (the scenario driver paces it on the virtual clock):
 // bucket repair (CheckLiveness plus a self-lookup that re-learns the
-// neighborhood) followed by republication of every locally stored
-// document through p2p.ReannounceLocal — restarting record TTLs and
-// re-replicating onto the current closest-k after churn moved them.
+// neighborhood) followed by adaptive republication of the locally
+// stored documents through p2p.ReannounceLocal. Adaptive: each key is
+// first probed with a FIND_NODE lookup, and the STOREs are sent only
+// when the holder set from the last announce is no longer intact
+// (departures or displacement by closer arrivals) or the records are
+// approaching expiry (half the TTL, so a skipped cycle can never let
+// them lapse). Intact keys cost one lookup instead of lookup + k
+// STORE fan-out, which is what keeps steady-state refresh traffic
+// from dominating message totals.
 func (n *Node) Refresh() error {
 	if n.isClosed() {
 		return p2p.ErrClosed
@@ -457,8 +623,65 @@ func (n *Node) Refresh() error {
 	n.CheckLiveness()
 	n.lookup(tctx, n.self, nil)
 	return p2p.ReannounceLocal(n.store, func(docs []*index.Document) error {
-		return n.announce(tctx, docs)
+		return n.reannounce(tctx, docs)
 	})
+}
+
+// reannounce is announce's refresh-cycle variant: same grouping, but
+// each key republishes only when reannounceKey decides it must.
+func (n *Node) reannounce(tctx trace.Context, docs []*index.Document) error {
+	if n.isClosed() {
+		return p2p.ErrClosed
+	}
+	byComm := make(map[string][]Record)
+	for _, doc := range docs {
+		byComm[doc.CommunityID] = append(byComm[doc.CommunityID], recordFor(doc, n.ep.ID()))
+	}
+	comms := make([]string, 0, len(byComm))
+	for c := range byComm {
+		comms = append(comms, c)
+	}
+	sort.Strings(comms)
+	for _, c := range comms {
+		n.reannounceKey(tctx, KeyForCommunity(c), byComm[c])
+	}
+	for _, doc := range docs {
+		n.reannounceKey(tctx, KeyForDoc(doc.ID), []Record{recordFor(doc, n.ep.ID())})
+	}
+	return nil
+}
+
+// reannounceKey republishes recs under key unless the last announce's
+// holders are all still among the key's current closest nodes and the
+// records are not yet halfway to expiry. The staleness check comes
+// first because it needs no probe; the holder check reuses its probe
+// lookup as the STORE targeting, so deciding "republish" costs no
+// extra round-trips over announce.
+func (n *Node) reannounceKey(tctx trace.Context, key ID, recs []Record) {
+	n.annMu.Lock()
+	st, known := n.lastAnnounce[key]
+	n.annMu.Unlock()
+	if !known || n.clk.Now().Sub(st.at) >= n.cfg.RecordTTL/2 {
+		n.storeRecords(tctx, key, recs)
+		return
+	}
+	out := n.lookup(tctx, key, nil)
+	current := make(map[transport.PeerID]bool, len(out.contacts))
+	for _, c := range out.contacts {
+		current[c.Peer] = true
+	}
+	intact := len(st.holders) > 0
+	for _, h := range st.holders {
+		if !current[h] {
+			intact = false
+			break
+		}
+	}
+	if intact {
+		n.mRepubSkipped.Inc()
+		return
+	}
+	n.storeToTargets(tctx, key, recs, out.contacts, false)
 }
 
 // Close implements p2p.Network.
@@ -529,8 +752,11 @@ func (n *Node) handle(msg transport.Message) {
 		// but failing open to the whole record set would let one
 		// malformed query read the entire key.
 		if f, err := query.Parse(req.Filter); err == nil {
-			reply.Records = n.records.get(req.Key, n.clk.Now(), req.CommunityID, f, req.Limit)
+			reply.Records, reply.Complete = n.records.get(req.Key, n.clk.Now(), req.CommunityID, req.Filter, f, req.Limit)
 		}
+		// Advertise a hot-key split so the querier fans into the
+		// attribute-hash sub-keys holding the migrated records.
+		reply.Split = n.records.splitFanout(req.Key)
 		payload := marshal(reply)
 		_ = n.ep.Send(transport.Message{
 			To:      msg.From,
@@ -547,17 +773,33 @@ func (n *Node) handle(msg transport.Message) {
 			return
 		}
 		sp, _ := n.startSpan(msg, "store.serve")
-		// Provenance: a peer may only store records it provides
-		// itself (every legitimate publish/refresh does exactly
-		// that), so one peer cannot forge records under another's
-		// name. Would need revisiting for path-caching STOREs.
-		kept := req.Records[:0]
-		for _, rec := range req.Records {
-			if rec.Provider == msg.From {
-				kept = append(kept, rec)
+		switch {
+		case req.Cached:
+			// A caching STORE relays third-party providers by design,
+			// so the provider==sender rule cannot apply. The copies are
+			// confined: halved TTL, filter-tagged, never republished,
+			// first to be evicted — a forged cache pollutes one key for
+			// half a TTL at worst, it cannot displace primaries.
+			n.records.putCached(req.Key, req.Records, n.clk.Now(), req.Filter)
+		case req.Split:
+			// A hot-key migration relays the records of every publisher
+			// that hit the split holder; same relaxation, but these are
+			// primaries (the split holder gave its copies up).
+			n.records.put(req.Key, req.Records, n.clk.Now())
+		default:
+			// Provenance: a peer may only store records it provides
+			// itself (every legitimate publish/refresh does exactly
+			// that), so one peer cannot forge records under another's
+			// name.
+			kept := req.Records[:0]
+			for _, rec := range req.Records {
+				if rec.Provider == msg.From {
+					kept = append(kept, rec)
+				}
 			}
+			count := n.records.put(req.Key, kept, n.clk.Now())
+			n.maybeSplit(req.Key, kept, count)
 		}
-		n.records.put(req.Key, kept, n.clk.Now())
 		sp.Finish()
 	case MsgUnstore:
 		var req unstorePayload

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/dsim"
 	"repro/internal/index"
+	"repro/internal/metrics"
 	"repro/internal/p2p"
 	"repro/internal/query"
 	"repro/internal/trace"
@@ -281,5 +282,205 @@ func TestStoreProvenance(t *testing.T) {
 	}
 	if len(rs) != 1 || rs[0].DocID != real.ID || rs[0].Provider != victim.PeerID() {
 		t.Fatalf("results = %+v, want only the victim's real record intact", rs)
+	}
+}
+
+// sharedNet is testNet with one shared metrics registry across all
+// nodes, so cluster-wide counters (cache stores on queriers, cache
+// hits on holders) can be asserted in one place.
+func sharedNet(t *testing.T, n int, cfg Config) ([]*Node, *metrics.Registry) {
+	t.Helper()
+	net := transport.NewMemNetwork(transport.WithSeed(1))
+	reg := metrics.NewRegistry()
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		ep, err := net.Endpoint(transport.PeerID(fmt.Sprintf("peer%03d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = NewNode(ep, index.NewStore(), cfg)
+		nodes[i].SetMetrics(reg)
+	}
+	for i := 1; i < n; i++ {
+		nodes[i].Bootstrap(nodes[0].PeerID())
+	}
+	return nodes, reg
+}
+
+// TestCachingStoreAndHits: with CacheRecords on, a successful search
+// plants a cached copy on a lookup-path non-holder (dht.cache_stores),
+// repeat searches for the same filter are served from it
+// (dht.cache_hits), and the result set stays identical to the
+// cache-off answer.
+func TestCachingStoreAndHits(t *testing.T) {
+	// 64 nodes at k=4: routing tables cover a fraction of the network,
+	// so lookups route through non-holders — the nodes a caching STORE
+	// lands on. (In a smaller net every queried node is a holder and
+	// there is nowhere to cache.)
+	nodes, reg := sharedNet(t, 64, Config{K: 4, Alpha: 2, CacheRecords: true})
+	for i := 0; i < 12; i++ {
+		class := "behavioral"
+		if i%2 == 0 {
+			class = "creational"
+		}
+		if err := nodes[i].Publish(doc(i, "patterns", class)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A run of distinct queriers for one filter: early ones plant
+	// cached copies on their lookup paths (not every searcher has a
+	// non-holder on its path, but most do), later ones are served from
+	// them — and every answer must be the same complete set.
+	f := query.MustParse("(classification=behavioral)")
+	var first []p2p.Result
+	for searcher := 20; searcher < 32; searcher++ {
+		rs, err := nodes[searcher].Search("patterns", f, p2p.SearchOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rs) != 6 {
+			t.Fatalf("searcher %d hits = %d, want 6", searcher, len(rs))
+		}
+		if first == nil {
+			first = rs
+			continue
+		}
+		for i := range rs {
+			if rs[i].DocID != first[i].DocID || rs[i].Provider != first[i].Provider {
+				t.Fatalf("searcher %d answer diverges at %d: %+v vs %+v", searcher, i, rs[i], first[i])
+			}
+		}
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counter("dht.cache_stores"); got < 1 {
+		t.Fatalf("cache_stores = %d, want >= 1", got)
+	}
+	if got := snap.Counter("dht.cache_hits"); got < 1 {
+		t.Fatalf("cache_hits = %d, want >= 1", got)
+	}
+}
+
+// TestLimitShortcircuit: a limited FIND_VALUE stops converging once it
+// holds limit records and counts the early exit.
+func TestLimitShortcircuit(t *testing.T) {
+	nodes, reg := sharedNet(t, 24, Config{K: 4, Alpha: 2})
+	for i := 0; i < 12; i++ {
+		if err := nodes[i].Publish(doc(i, "patterns", "behavioral")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := reg.Snapshot()
+	rs, err := nodes[20].Search("patterns", nil, p2p.SearchOptions{Limit: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("limited search hits = %d, want 2", len(rs))
+	}
+	if got := reg.Snapshot().Delta(before).Counter("dht.lookup_shortcircuits"); got < 1 {
+		t.Fatalf("lookup_shortcircuits = %d, want >= 1", got)
+	}
+}
+
+// TestAdaptiveRefreshSkips: a Refresh right after publishing finds
+// every holder set intact and skips the STORE fan-out; once records
+// approach half their TTL the republish is forced.
+func TestAdaptiveRefreshSkips(t *testing.T) {
+	clk := dsim.NewVirtualClock()
+	net := transport.NewMemNetwork(transport.WithSeed(1))
+	reg := metrics.NewRegistry()
+	cfg := Config{K: 3, Alpha: 2, RecordTTL: 10 * time.Second}
+	var nodes []*Node
+	for i := 0; i < 12; i++ {
+		ep, err := net.Endpoint(transport.PeerID(fmt.Sprintf("peer%03d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nd := NewNode(ep, index.NewStore(), cfg)
+		nd.SetClock(clk)
+		nd.SetMetrics(reg)
+		nodes = append(nodes, nd)
+	}
+	for i := 1; i < len(nodes); i++ {
+		nodes[i].Bootstrap(nodes[0].PeerID())
+	}
+	if err := nodes[4].Publish(doc(9, "patterns", "behavioral")); err != nil {
+		t.Fatal(err)
+	}
+	// No churn, no aging: both keys' holders are intact, so the probe
+	// lookups suffice and no STORE is sent.
+	before := reg.Snapshot()
+	if err := nodes[4].Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	d := reg.Snapshot().Delta(before)
+	if d.Counter("dht.republishes_skipped") != 2 {
+		t.Fatalf("republishes_skipped = %d, want 2 (community + doc key)", d.Counter("dht.republishes_skipped"))
+	}
+	if d.Counter("dht.store_fanout") != 0 {
+		t.Fatalf("store_fanout = %d, want 0 on an intact refresh", d.Counter("dht.store_fanout"))
+	}
+	// Half the TTL later the records are approaching expiry: the same
+	// Refresh must now republish unconditionally.
+	clk.Sleep(5 * time.Second)
+	before = reg.Snapshot()
+	if err := nodes[4].Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	d = reg.Snapshot().Delta(before)
+	if d.Counter("dht.republishes_skipped") != 0 {
+		t.Fatalf("republishes_skipped = %d after TTL/2, want 0", d.Counter("dht.republishes_skipped"))
+	}
+	if d.Counter("dht.store_fanout") == 0 {
+		t.Fatal("store_fanout = 0 after TTL/2, want a forced republish")
+	}
+}
+
+// TestRefreshTargetBuckets: the deterministic bucket-refresh targets
+// land in exactly the bucket they are derived for.
+func TestRefreshTargetBuckets(t *testing.T) {
+	for _, seed := range []string{"node-a", "node-b", "node-c"} {
+		self := NodeIDFor(transport.PeerID(seed))
+		for _, b := range []int{0, 1, 5, 7, 8, 9, 63, 64, 100, 158, 159} {
+			target := RefreshTarget(self, b)
+			if got := BucketIndex(self, target); got != b {
+				t.Fatalf("self %s bucket %d: target lands in bucket %d", seed, b, got)
+			}
+		}
+	}
+}
+
+// TestHotKeySplitFanIn: a community key pushed past SplitThreshold
+// spills into attribute-hash sub-keys, and searches transparently fan
+// in with no recall loss.
+func TestHotKeySplitFanIn(t *testing.T) {
+	nodes, reg := sharedNet(t, 24, Config{K: 4, Alpha: 2, SplitThreshold: 8, SplitFanout: 4})
+	for i := 0; i < 12; i++ {
+		class := "behavioral"
+		if i%2 == 0 {
+			class = "creational"
+		}
+		if err := nodes[i].Publish(doc(i, "patterns", class)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := reg.Snapshot().Counter("dht.key_splits"); got < 1 {
+		t.Fatalf("key_splits = %d, want >= 1 (threshold 8, 12 records)", got)
+	}
+	for _, searcher := range []int{20, 23} {
+		rs, err := nodes[searcher].Search("patterns", nil, p2p.SearchOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rs) != 12 {
+			t.Fatalf("searcher %d post-split hits = %d, want 12", searcher, len(rs))
+		}
+		rs, err = nodes[searcher].Search("patterns", query.MustParse("(classification=behavioral)"), p2p.SearchOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rs) != 6 {
+			t.Fatalf("searcher %d filtered post-split hits = %d, want 6", searcher, len(rs))
+		}
 	}
 }

@@ -16,14 +16,42 @@ import (
 // owner's clock): a record whose publisher stops refreshing it ages
 // out, which is what garbage-collects departed providers without any
 // global coordination. Expired entries are pruned lazily on read.
+//
+// Two extensions beyond plain Kademlia storage:
+//
+//   - Cached sets (Kademlia's caching STORE): path copies placed by
+//     FIND_VALUE queriers, kept at half TTL and keyed by the
+//     canonical filter string their record set is complete for. A
+//     cached set is atomic — installed, served, evicted, and expired
+//     as a whole — because its value is the completeness guarantee
+//     that lets a lookup value-terminate on it; a partially evicted
+//     set would satisfy queries with silently truncated results.
+//     Cached sets never displace primary replicas and are never
+//     republished (republish reads the local document store).
+//   - A per-key cap (maxPerKey) across primaries and cached copies: a
+//     flash crowd of publishes cannot grow one key without bound.
+//     Past the cap, eviction is deterministic — whole cached sets
+//     first (earliest expiry, ties by filter string), then the
+//     earliest-expiring primary, ties by (DocID, Provider) — and
+//     counted per record in dht.records_evicted.
 type recordStore struct {
-	mu  sync.Mutex
-	ttl time.Duration
-	// byKey maps key -> (DocID, Provider) -> entry.
+	mu        sync.Mutex
+	ttl       time.Duration
+	maxPerKey int
+	// byKey maps key -> (DocID, Provider) -> primary entry.
 	byKey map[ID]map[recordKey]recordEntry
-	// expired counts lazily pruned entries (dht.records_expired);
-	// installed by the node's SetMetrics before traffic starts.
-	expired *metrics.Counter
+	// cached maps key -> canonical filter string -> the complete
+	// cached record set for that filter.
+	cached map[ID]map[string]cachedSet
+	// split maps keys this holder has split to their advertised
+	// sub-key fanout.
+	split map[ID]int
+	// Telemetry handles (dht.records_expired / records_evicted /
+	// cache_hits); installed by the node's SetMetrics before traffic
+	// starts.
+	expired   *metrics.Counter
+	evicted   *metrics.Counter
+	cacheHits *metrics.Counter
 }
 
 type recordKey struct {
@@ -36,23 +64,107 @@ type recordEntry struct {
 	expires time.Time
 }
 
-func newRecordStore(ttl time.Duration) *recordStore {
+// cachedSet is one caching STORE's payload: the complete, sorted
+// result set for its filter, expiring as a unit.
+type cachedSet struct {
+	recs    []Record
+	expires time.Time
+}
+
+func newRecordStore(ttl time.Duration, maxPerKey int) *recordStore {
+	if maxPerKey <= 0 {
+		maxPerKey = DefaultMaxRecordsPerKey
+	}
+	discard := metrics.Discard()
 	return &recordStore{
-		ttl:     ttl,
-		byKey:   make(map[ID]map[recordKey]recordEntry),
-		expired: metrics.Discard().Counter("dht.records_expired"),
+		ttl:       ttl,
+		maxPerKey: maxPerKey,
+		byKey:     make(map[ID]map[recordKey]recordEntry),
+		cached:    make(map[ID]map[string]cachedSet),
+		split:     make(map[ID]int),
+		expired:   discard.Counter("dht.records_expired"),
+		evicted:   discard.Counter("dht.records_evicted"),
+		cacheHits: discard.Counter("dht.cache_hits"),
 	}
 }
 
-// setExpiredCounter installs the expiry counter handle.
-func (rs *recordStore) setExpiredCounter(c *metrics.Counter) {
+// setCounters installs the telemetry handles.
+func (rs *recordStore) setCounters(expired, evicted, cacheHits *metrics.Counter) {
 	rs.mu.Lock()
 	defer rs.mu.Unlock()
-	rs.expired = c
+	rs.expired = expired
+	rs.evicted = evicted
+	rs.cacheHits = cacheHits
 }
 
-// put upserts records under key, (re)starting their TTL at now.
-func (rs *recordStore) put(key ID, recs []Record, now time.Time) {
+// cachedCountLocked is the number of records held in key's cached
+// sets. Caller holds rs.mu.
+func (rs *recordStore) cachedCountLocked(key ID) int {
+	n := 0
+	for _, cs := range rs.cached[key] {
+		n += len(cs.recs)
+	}
+	return n
+}
+
+// evictCachedSetLocked drops the deterministic cached-set victim of
+// key — earliest expiry first, ties broken by filter string — and
+// reports whether one was dropped. Caller holds rs.mu.
+func (rs *recordStore) evictCachedSetLocked(key ID) bool {
+	sets := rs.cached[key]
+	victim := ""
+	found := false
+	for filter, cs := range sets {
+		if !found || cs.expires.Before(sets[victim].expires) ||
+			(cs.expires.Equal(sets[victim].expires) && filter < victim) {
+			victim, found = filter, true
+		}
+	}
+	if !found {
+		return false
+	}
+	rs.evicted.Add(int64(len(sets[victim].recs)))
+	delete(sets, victim)
+	if len(sets) == 0 {
+		delete(rs.cached, key)
+	}
+	return true
+}
+
+// evictPrimaryLocked removes the deterministic primary victim from m:
+// earliest expiry first, ties broken by (DocID, Provider). Caller
+// holds rs.mu.
+func (rs *recordStore) evictPrimaryLocked(m map[recordKey]recordEntry) bool {
+	var victim recordKey
+	var ve recordEntry
+	found := false
+	for rk, e := range m {
+		if found {
+			if e.expires.After(ve.expires) {
+				continue
+			}
+			if e.expires.Equal(ve.expires) &&
+				(rk.docID > victim.docID ||
+					(rk.docID == victim.docID && rk.provider >= victim.provider)) {
+				continue
+			}
+		}
+		victim, ve, found = rk, e, true
+	}
+	if !found {
+		return false
+	}
+	delete(m, victim)
+	rs.evicted.Inc()
+	return true
+}
+
+// put upserts primary records under key, (re)starting their TTL at
+// now. It returns the key's primary record count after the insert,
+// which is what the node's split-threshold check reads. Past the
+// per-key cap, whole cached sets are evicted first, then the
+// earliest-expiring primaries.
+func (rs *recordStore) put(key ID, recs []Record, now time.Time) int {
 	rs.mu.Lock()
 	defer rs.mu.Unlock()
 	m := rs.byKey[key]
@@ -64,34 +176,80 @@ func (rs *recordStore) put(key ID, recs []Record, now time.Time) {
 		if rec.DocID == "" || rec.Provider == "" {
 			continue
 		}
-		m[recordKey{rec.DocID, rec.Provider}] = recordEntry{rec: rec, expires: now.Add(rs.ttl)}
+		rk := recordKey{rec.DocID, rec.Provider}
+		if _, exists := m[rk]; !exists {
+			for len(m)+rs.cachedCountLocked(key) >= rs.maxPerKey {
+				if !rs.evictCachedSetLocked(key) && !rs.evictPrimaryLocked(m) {
+					break
+				}
+			}
+		}
+		m[rk] = recordEntry{rec: rec, expires: now.Add(rs.ttl)}
 	}
+	if len(m) == 0 {
+		delete(rs.byKey, key)
+		return 0
+	}
+	return len(m)
 }
 
-// remove withdraws one provider's record under key.
-func (rs *recordStore) remove(key ID, docID index.DocID, provider transport.PeerID) {
-	rs.mu.Lock()
-	defer rs.mu.Unlock()
-	if m := rs.byKey[key]; m != nil {
-		delete(m, recordKey{docID, provider})
-		if len(m) == 0 {
-			delete(rs.byKey, key)
+// putCached installs one caching STORE's complete record set for
+// filter: half TTL, replacing any previous set for the same filter,
+// atomically — if the whole set cannot fit under the per-key cap
+// after evicting other cached sets, nothing is installed (path
+// copies never displace primaries).
+func (rs *recordStore) putCached(key ID, recs []Record, now time.Time, filter string) {
+	kept := make([]Record, 0, len(recs))
+	for _, rec := range recs {
+		if rec.DocID != "" && rec.Provider != "" {
+			kept = append(kept, rec)
 		}
 	}
+	if len(kept) == 0 {
+		return
+	}
+	sortRecords(kept)
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	sets := rs.cached[key]
+	if sets == nil {
+		sets = make(map[string]cachedSet)
+		rs.cached[key] = sets
+	}
+	delete(sets, filter) // replacing: the old set never counts against us
+	for len(rs.byKey[key])+rs.cachedCountLocked(key)+len(kept) > rs.maxPerKey {
+		if !rs.evictCachedSetLocked(key) {
+			if len(sets) == 0 {
+				delete(rs.cached, key)
+			}
+			return // full of primaries: drop the path copy whole
+		}
+		if sets = rs.cached[key]; sets == nil {
+			sets = make(map[string]cachedSet)
+			rs.cached[key] = sets
+		}
+	}
+	sets[filter] = cachedSet{recs: kept, expires: now.Add(rs.ttl / 2)}
 }
 
 // get returns the unexpired records under key that match the
 // community/filter, sorted by (DocID, Provider) so replies are
-// deterministic, capped at limit (0 = all). Expired entries found
-// along the way are pruned.
-func (rs *recordStore) get(key ID, now time.Time, communityID string, f query.Filter, limit int) []Record {
+// deterministic, capped at limit (0 = all). filterStr is the query's
+// canonical filter string: a cached set is served only to queries
+// carrying the identical filter. Expired entries found along the way
+// are pruned.
+//
+// The second result reports completeness: true when the reply draws
+// on a cached set for exactly this filter (complete by construction
+// — only full result sets are ever cache-STOREd, and sets evict and
+// expire whole) and no limit truncated it. Primary-only replies are
+// never complete: this holder may have only a partial slice of the
+// key's records.
+func (rs *recordStore) get(key ID, now time.Time, communityID, filterStr string, f query.Filter, limit int) ([]Record, bool) {
 	rs.mu.Lock()
 	defer rs.mu.Unlock()
+	merged := make(map[recordKey]Record)
 	m := rs.byKey[key]
-	if len(m) == 0 {
-		return nil
-	}
-	out := make([]Record, 0, len(m))
 	for rk, e := range m {
 		if !e.expires.After(now) {
 			delete(m, rk)
@@ -104,15 +262,125 @@ func (rs *recordStore) get(key ID, now time.Time, communityID string, f query.Fi
 		if f != nil && !f.Match(e.rec.Attrs) {
 			continue
 		}
-		out = append(out, e.rec)
+		merged[rk] = e.rec
 	}
 	if len(m) == 0 {
 		delete(rs.byKey, key)
 	}
+	fromCache := false
+	if sets := rs.cached[key]; sets != nil {
+		for filter, cs := range sets {
+			if !cs.expires.After(now) {
+				rs.expired.Add(int64(len(cs.recs)))
+				delete(sets, filter)
+			}
+		}
+		if len(sets) == 0 {
+			delete(rs.cached, key)
+		} else if cs, ok := sets[filterStr]; ok {
+			fromCache = true
+			for _, rec := range cs.recs {
+				rk := recordKey{rec.DocID, rec.Provider}
+				if _, dup := merged[rk]; !dup {
+					merged[rk] = rec
+				}
+			}
+		}
+	}
+	if len(merged) == 0 {
+		return nil, false
+	}
+	if fromCache {
+		rs.cacheHits.Inc()
+	}
+	out := make([]Record, 0, len(merged))
+	for _, rec := range merged {
+		out = append(out, rec)
+	}
 	sortRecords(out)
+	complete := fromCache
 	if limit > 0 && len(out) > limit {
 		out = out[:limit]
+		complete = false
 	}
+	return out, complete
+}
+
+// remove withdraws one provider's record under key, from the
+// primaries and from any cached sets holding it (removal reflects a
+// global unpublish, so a shrunk cached set stays complete).
+func (rs *recordStore) remove(key ID, docID index.DocID, provider transport.PeerID) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if m := rs.byKey[key]; m != nil {
+		delete(m, recordKey{docID, provider})
+		if len(m) == 0 {
+			delete(rs.byKey, key)
+		}
+	}
+	for filter, cs := range rs.cached[key] {
+		kept := cs.recs[:0:0]
+		for _, rec := range cs.recs {
+			if rec.DocID != docID || rec.Provider != provider {
+				kept = append(kept, rec)
+			}
+		}
+		if len(kept) != len(cs.recs) {
+			if len(kept) == 0 {
+				delete(rs.cached[key], filter)
+			} else {
+				rs.cached[key][filter] = cachedSet{recs: kept, expires: cs.expires}
+			}
+		}
+	}
+	if len(rs.cached[key]) == 0 {
+		delete(rs.cached, key)
+	}
+}
+
+// markSplit records that this holder split key into fanout sub-keys;
+// FIND_VALUE replies advertise it from then on. Reports whether the
+// key was newly marked.
+func (rs *recordStore) markSplit(key ID, fanout int) bool {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if _, done := rs.split[key]; done {
+		return false
+	}
+	rs.split[key] = fanout
+	return true
+}
+
+// splitFanout returns the advertised sub-key fanout of key (0 when
+// the key is not split at this holder).
+func (rs *recordStore) splitFanout(key ID) int {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.split[key]
+}
+
+// takePrimary removes and returns the unexpired primary entries of
+// key, sorted — the migration set of a hot-key split. Cached sets
+// stay behind (they still answer repeat queries and age out on their
+// own).
+func (rs *recordStore) takePrimary(key ID, now time.Time) []Record {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	m := rs.byKey[key]
+	if len(m) == 0 {
+		return nil
+	}
+	var out []Record
+	for rk, e := range m {
+		if e.expires.After(now) {
+			out = append(out, e.rec)
+		} else {
+			rs.expired.Inc()
+		}
+		delete(m, rk)
+	}
+	delete(rs.byKey, key)
+	sortRecords(out)
 	return out
 }
 
@@ -133,6 +401,19 @@ func (rs *recordStore) len(now time.Time) int {
 		}
 		if len(m) == 0 {
 			delete(rs.byKey, key)
+		}
+	}
+	for key, sets := range rs.cached {
+		for filter, cs := range sets {
+			if !cs.expires.After(now) {
+				rs.expired.Add(int64(len(cs.recs)))
+				delete(sets, filter)
+				continue
+			}
+			n += len(cs.recs)
+		}
+		if len(sets) == 0 {
+			delete(rs.cached, key)
 		}
 	}
 	return n

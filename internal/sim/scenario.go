@@ -9,12 +9,14 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/dht"
 	"repro/internal/dsim"
 	"repro/internal/index"
 	"repro/internal/metrics"
 	"repro/internal/p2p"
 	"repro/internal/query"
 	"repro/internal/trace"
+	"repro/internal/transport"
 )
 
 // ScenarioConfig describes one discrete-event experiment over a
@@ -113,6 +115,37 @@ type ScenarioResult struct {
 	// exemplar waterfalls an operator reads to see where a slow query
 	// spent its virtual time.
 	SlowTraces []*trace.Tree
+	// Load measures per-node load skew over the flash-crowd burst
+	// window; nil unless Cluster.PeerLoad was on and a burst ran.
+	Load *LoadSkew
+	// Metrics is the final cluster-wide registry snapshot, so callers
+	// can read protocol counters (dht.cache_stores, dht.cache_hits, …)
+	// after the run without holding the cluster.
+	Metrics *metrics.Snapshot
+}
+
+// LoadSkew is the per-node message-load distribution across live
+// peers during the flash-crowd burst: every message delivered while
+// the burst queries ran, bucketed by receiving peer. The hotspot
+// headline is the load on the hot key's natural holders (HolderMax /
+// HolderMean) against the network average — a flash crowd without
+// relief concentrates there.
+type LoadSkew struct {
+	// Max and Mean are burst-window messages received by the
+	// hottest live peer and by the average live peer.
+	Max  int64
+	Mean float64
+	// Skew is Max/Mean (0 when the window saw no traffic).
+	Skew float64
+	// HolderMsgs are the burst-window message counts of the k live
+	// peers whose DHT node IDs are XOR-closest to the bursted
+	// community's key — the natural holders of the hot key — closest
+	// first. Empty outside the DHT protocol.
+	HolderMsgs []int64
+	// HolderMax and HolderMean aggregate HolderMsgs: the load on the
+	// busiest holder and on the average holder.
+	HolderMax  int64
+	HolderMean float64
 }
 
 // MsgsPerQuery is the mean network cost per query.
@@ -187,8 +220,12 @@ type scenario struct {
 	end     time.Time
 	truth   map[index.DocID]*docTruth
 	nextObj int64
-	res     *ScenarioResult
-	err     error
+	// objs is the scenario's corpus, grown on demand. Generation is
+	// prefix-stable (same seed, larger n ⇒ same leading objects), so
+	// regrowing never rewrites history.
+	objs []corpus.Object
+	res  *ScenarioResult
+	err  error
 	// msgs/bytes/dropped are registry handles resolved once at setup;
 	// per-query accounting reads them before and after a search instead
 	// of snapshotting the whole registry.
@@ -262,6 +299,7 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	}
 	s.res.Messages = s.msgs.Value()
 	s.res.Dropped = s.dropped.Value()
+	s.res.Metrics = cluster.Metrics()
 	s.res.TraceHash = cluster.Net.TraceHash()
 	s.res.TraceLen = cluster.Net.TraceLen()
 	s.res.FinalPeers = len(cluster.LivePeers())
@@ -301,9 +339,23 @@ func (s *scenario) bootstrap() error {
 }
 
 // publishFresh publishes one new corpus object on peer p and records
-// its ground truth.
+// its ground truth. Objects are drawn in sequence from one growing
+// corpus — NOT generated one at a time with n=1, which would hand
+// every peer the first catalogue entry and collapse the attribute
+// distribution to a single classification (leaving the flash-crowd
+// filter with an empty result set).
 func (s *scenario) publishFresh(p int) error {
-	obj := corpus.DesignPatterns(1, s.cfg.Seed+s.nextObj).Objects[0]
+	for int(s.nextObj) >= len(s.objs) {
+		n := 2 * len(s.objs)
+		if n < s.cfg.InitialObjects {
+			n = s.cfg.InitialObjects
+		}
+		if n < 64 {
+			n = 64
+		}
+		s.objs = corpus.DesignPatterns(n, s.cfg.Seed).Objects
+	}
+	obj := s.objs[s.nextObj]
 	s.nextObj++
 	sv := s.cluster.Servents[p]
 	id, err := sv.Publish(s.comm.ID, obj.Doc.Clone(), nil)
@@ -349,8 +401,15 @@ func (s *scenario) scheduleStreams() {
 	s.schedulePoisson(s.cfg.DepartureRate, func(time.Time) { s.runDeparture() })
 	if s.cfg.BurstAt > 0 && s.cfg.BurstQueries > 0 {
 		s.clk.Schedule(s.cfg.BurstAt, func(time.Time) {
+			// Snapshot per-peer load around the burst so the skew
+			// measures exactly the flash crowd, not the background
+			// workload before and after it.
+			before := s.cluster.Net.PeerLoad()
 			for i := 0; i < s.cfg.BurstQueries && s.err == nil; i++ {
 				s.runQuery(queryTemplates[0])
+			}
+			if before != nil && s.err == nil {
+				s.res.Load = s.measureLoadSkew(before, s.cluster.Net.PeerLoad())
 			}
 		})
 	}
@@ -393,6 +452,63 @@ func (s *scenario) schedulePoisson(rate float64, fn func(time.Time)) {
 		s.clk.Schedule(next(), fire)
 	}
 	s.clk.Schedule(next(), fire)
+}
+
+// measureLoadSkew turns two PeerLoad snapshots bracketing the burst
+// into the per-node skew measurement: delta messages per live peer,
+// the max and mean over them, and the deltas of the k live peers
+// closest (by XOR distance of their DHT node IDs) to the bursted
+// community's key — the hot key's natural holders.
+func (s *scenario) measureLoadSkew(before, after map[transport.PeerID]int64) *LoadSkew {
+	live := s.cluster.LivePeers()
+	if len(live) == 0 {
+		return nil
+	}
+	ls := &LoadSkew{}
+	total := int64(0)
+	delta := make(map[int]int64, len(live))
+	for _, p := range live {
+		id := s.cluster.Servents[p].PeerID()
+		d := after[id] - before[id]
+		delta[p] = d
+		total += d
+		if d > ls.Max {
+			ls.Max = d
+		}
+	}
+	ls.Mean = float64(total) / float64(len(live))
+	if ls.Mean > 0 {
+		ls.Skew = float64(ls.Max) / ls.Mean
+	}
+	if s.cfg.Cluster.Protocol == DHT {
+		key := dht.KeyForCommunity(s.comm.ID)
+		ranked := append([]int(nil), live...)
+		sort.Slice(ranked, func(i, j int) bool {
+			a := dht.NodeIDFor(s.cluster.Servents[ranked[i]].PeerID())
+			b := dht.NodeIDFor(s.cluster.Servents[ranked[j]].PeerID())
+			return dht.CompareDistance(a, b, key) < 0
+		})
+		k := s.cfg.Cluster.DHTK
+		if k <= 0 {
+			k = dht.DefaultK
+		}
+		if k > len(ranked) {
+			k = len(ranked)
+		}
+		holderTotal := int64(0)
+		for _, p := range ranked[:k] {
+			d := delta[p]
+			ls.HolderMsgs = append(ls.HolderMsgs, d)
+			holderTotal += d
+			if d > ls.HolderMax {
+				ls.HolderMax = d
+			}
+		}
+		if k > 0 {
+			ls.HolderMean = float64(holderTotal) / float64(k)
+		}
+	}
+	return ls
 }
 
 func (s *scenario) pickTemplate() string {

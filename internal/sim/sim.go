@@ -75,6 +75,20 @@ type Config struct {
 	// DHTRecordTTL bounds how long DHT record holders keep an
 	// unrefreshed record (0 = dht package default).
 	DHTRecordTTL time.Duration
+	// DHTCache enables the DHT's caching STORE + value-terminating
+	// FIND_VALUE (dht.Config.CacheRecords). Off by default so existing
+	// baselines keep their exact message traces.
+	DHTCache bool
+	// DHTSplitThreshold / DHTSplitFanout configure hot-key splitting
+	// (dht.Config.SplitThreshold/SplitFanout; 0 disables / package
+	// default), and DHTMaxRecordsPerKey caps per-key holder state.
+	DHTSplitThreshold   int
+	DHTSplitFanout      int
+	DHTMaxRecordsPerKey int
+	// PeerLoad enables per-receiver message counting on the network
+	// (transport.WithPeerLoad) — what hotspot experiments read per-node
+	// load skew from.
+	PeerLoad bool
 	// Seed drives topology and fault randomness.
 	Seed int64
 	// DropRate is the per-message loss probability.
@@ -161,6 +175,9 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 	if cfg.Trace {
 		opts = append(opts, transport.WithTrace())
+	}
+	if cfg.PeerLoad {
+		opts = append(opts, transport.WithPeerLoad())
 	}
 	net := transport.NewMemNetwork(opts...)
 	clk := cfg.Clock
@@ -265,9 +282,13 @@ func (c *Cluster) newPeer() (int, error) {
 		netw = node
 	case DHT:
 		node := dht.NewNode(ep, st, dht.Config{
-			K:         c.cfg.DHTK,
-			Alpha:     c.cfg.DHTAlpha,
-			RecordTTL: c.cfg.DHTRecordTTL,
+			K:                c.cfg.DHTK,
+			Alpha:            c.cfg.DHTAlpha,
+			RecordTTL:        c.cfg.DHTRecordTTL,
+			CacheRecords:     c.cfg.DHTCache,
+			SplitThreshold:   c.cfg.DHTSplitThreshold,
+			SplitFanout:      c.cfg.DHTSplitFanout,
+			MaxRecordsPerKey: c.cfg.DHTMaxRecordsPerKey,
 		})
 		node.SetClock(c.clock)
 		node.SetMetrics(c.reg)

@@ -47,6 +47,10 @@ type MemNetwork struct {
 	// cascade's maxVT is the virtual instant its last message lands,
 	// i.e. the query's virtual completion latency.
 	maxVT time.Duration
+	// peerLoad, when enabled, counts delivered messages per receiving
+	// peer — the per-node load distribution hotspot experiments read
+	// skew from. Guarded by statsMu like the other ordered folds.
+	peerLoad map[PeerID]int64
 	// trace, when enabled, folds every delivery attempt (including
 	// drops) into a running FNV-1a hash: two runs of one deterministic
 	// scenario produce identical hashes, and any divergence in message
@@ -91,6 +95,12 @@ func WithDropModel(f func(from, to PeerID) float64) MemOption {
 // TraceHash).
 func WithTrace() MemOption {
 	return func(n *MemNetwork) { n.traceOn = true }
+}
+
+// WithPeerLoad enables per-receiver delivery counting (see PeerLoad).
+// Off by default: a map update per delivery is cheap but not free.
+func WithPeerLoad() MemOption {
+	return func(n *MemNetwork) { n.peerLoad = make(map[PeerID]int64) }
 }
 
 // WithMetrics records delivery accounting into reg instead of a
@@ -169,6 +179,23 @@ func (n *MemNetwork) ResetPath() {
 	n.statsMu.Lock()
 	defer n.statsMu.Unlock()
 	n.maxVT = 0
+}
+
+// PeerLoad returns a copy of the per-receiver delivered-message
+// counts since construction, or nil unless WithPeerLoad was set.
+// Snapshot one before and one after a window and subtract to get the
+// window's load distribution.
+func (n *MemNetwork) PeerLoad() map[PeerID]int64 {
+	n.statsMu.Lock()
+	defer n.statsMu.Unlock()
+	if n.peerLoad == nil {
+		return nil
+	}
+	out := make(map[PeerID]int64, len(n.peerLoad))
+	for id, c := range n.peerLoad {
+		out[id] = c
+	}
+	return out
 }
 
 // TraceHash returns the running hash over every delivery attempt since
@@ -287,6 +314,9 @@ func (n *MemNetwork) deliver(msg Message, senderVT time.Duration) error {
 	n.statsMu.Lock()
 	if arrival > n.maxVT {
 		n.maxVT = arrival
+	}
+	if n.peerLoad != nil {
+		n.peerLoad[msg.To]++
 	}
 	if n.traceOn {
 		n.foldTraceLocked(msg, false)
