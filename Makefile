@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race fmt vet bench-smoke determinism sim-smoke hotspot-smoke ops-smoke crash-smoke trace-smoke profile-smoke ci
+.PHONY: build test race fmt vet bench-smoke determinism sim-smoke hotspot-smoke ops-smoke crash-smoke trace-smoke profile-smoke scale-smoke tcp-nightly ci
 
 build:
 	$(GO) build ./...
@@ -76,10 +76,23 @@ profile-smoke:
 	$(GO) build -o /tmp/up2pd-profile-smoke ./cmd/up2pd
 	sh scripts/profile_smoke.sh /tmp/up2pd-profile-smoke
 
+# Scale gate: a ~5k-peer DHT deployment under churn on the virtual
+# clock must finish inside its wall-clock budget with full recall —
+# the canary for scale regressions (an accidental O(n^2) in the event
+# engine, a per-message allocation creeping back).
+scale-smoke:
+	UP2P_SCALE_SMOKE=1 $(GO) test ./internal/sim -run ScaleSmoke -v -timeout 15m
+
+# Nightly socket truth: the E10/E14 churn scenarios scaled down and
+# replayed over real TCP sockets (framing, dialing, concurrent read
+# loops, dead-peer errors). Scheduled in CI; not part of `make ci`.
+tcp-nightly:
+	UP2P_TCP_NIGHTLY=1 $(GO) test ./internal/sim -run TCPNightly -v -count=1
+
 # Durability gate: the kill-at-random-offset and recovery tests under
 # the race detector. Catches both torn-log regressions and data races
 # on the WAL append path.
 crash-smoke:
 	$(GO) test -race -count=1 -run 'WAL|Crash|Poisoned|ConsistentCut|CorruptMiddle' ./internal/index ./internal/core
 
-ci: build fmt vet test race bench-smoke determinism sim-smoke hotspot-smoke ops-smoke trace-smoke profile-smoke crash-smoke
+ci: build fmt vet test race bench-smoke determinism sim-smoke hotspot-smoke ops-smoke trace-smoke profile-smoke crash-smoke scale-smoke

@@ -4,11 +4,13 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/p2p"
+	"repro/internal/p2p/codec"
 	"repro/internal/query"
 	"repro/internal/sim"
 )
@@ -23,7 +25,12 @@ var DHTBenchConfig = struct {
 	// E13MaxPeers caps the E13 population ladder (the ladder keeps
 	// its shape; rungs above the cap are skipped).
 	E13MaxPeers int
-}{K: 16, Alpha: 3, E13MaxPeers: 400}
+	// Codec selects the wire codec of every E13–E15 cluster: "binary"
+	// (default) or "json". Switching codecs changes allocation cost,
+	// never results — the sim package's codec-equivalence test pins
+	// that.
+	Codec string
+}{K: 16, Alpha: 3, E13MaxPeers: 10000, Codec: "binary"}
 
 // dhtScenarioCluster builds the cluster config shared by the DHT rows
 // of E14/E15.
@@ -35,6 +42,7 @@ func dhtScenarioCluster(peers int, proto sim.Protocol) sim.Config {
 		Seed:     ScenarioBenchConfig.Seed,
 		DHTK:     DHTBenchConfig.K,
 		DHTAlpha: DHTBenchConfig.Alpha,
+		Codec:    codec.ByName(DHTBenchConfig.Codec),
 	}
 }
 
@@ -52,12 +60,15 @@ func RunE13() (Table, error) {
 	t := Table{
 		ID:      "E13",
 		Title:   fmt.Sprintf("Search cost scaling: Gnutella flooding vs Kademlia DHT (k=%d, α=%d)", DHTBenchConfig.K, DHTBenchConfig.Alpha),
-		Headers: []string{"protocol", "peers", "msgs/query", "bytes/query", "mean hops", "results/query"},
+		Headers: []string{"protocol", "peers", "msgs/query", "bytes/query", "mean hops", "results/query", "allocs/msg", "live heap MB"},
 		Notes: []string{
 			"expected shape: flooding msgs/query grows ~linearly with peers (the flood",
 			"covers the overlay's edge set); DHT msgs/query grows ~logarithmically (α-wide",
 			"iterative lookup waves toward the community key, k replicas answering);",
-			"hops: flood depth where hits sat vs DHT lookup rounds",
+			"hops: flood depth where hits sat vs DHT lookup rounds;",
+			"allocs/msg: heap allocations per delivered message over the query phase",
+			"(process-wide Mallocs delta — rerun with -codec json for the JSON baseline);",
+			"live heap MB: post-GC heap holding the whole cluster after the run",
 		},
 	}
 	const queries = 20
@@ -65,7 +76,7 @@ func RunE13() (Table, error) {
 	// topology, replica placement, and query origins all follow
 	// -scn-seed like the other scenario experiments.
 	pubCorpus := corpus.DesignPatterns(60, 13)
-	ladder := []int{25, 50, 100, 200, 400, 800}
+	ladder := []int{25, 50, 100, 200, 400, 800, 2500, 10000, 25000}
 	run := func(proto sim.Protocol, peers int) error {
 		c, err := sim.NewCluster(dhtScenarioCluster(peers, proto))
 		if err != nil {
@@ -82,6 +93,8 @@ func RunE13() (Table, error) {
 			return err
 		}
 		before := c.Metrics()
+		var msBefore runtime.MemStats
+		runtime.ReadMemStats(&msBefore)
 		rng := rand.New(rand.NewSource(ScenarioBenchConfig.Seed + 77))
 		results, hopSum, hopN := 0, 0, 0
 		for q := 0; q < queries; q++ {
@@ -103,6 +116,17 @@ func RunE13() (Table, error) {
 			}
 		}
 		st := c.Metrics().Delta(before)
+		var msAfter runtime.MemStats
+		runtime.ReadMemStats(&msAfter)
+		allocsPerMsg := 0.0
+		if delivered := st.Counter("transport.msgs_delivered"); delivered > 0 {
+			allocsPerMsg = float64(msAfter.Mallocs-msBefore.Mallocs) / float64(delivered)
+		}
+		runtime.GC()
+		runtime.ReadMemStats(&msAfter)
+		// Without this the cluster is dead at the GC above and the
+		// heap column would read near-zero at every rung.
+		runtime.KeepAlive(c)
 		meanHops := 0.0
 		if hopN > 0 {
 			meanHops = float64(hopSum) / float64(hopN)
@@ -114,6 +138,8 @@ func RunE13() (Table, error) {
 			fmt.Sprintf("%.0f", float64(st.Counter("transport.bytes_delivered"))/queries),
 			fmt.Sprintf("%.1f", meanHops),
 			fmt.Sprintf("%.1f", float64(results)/queries),
+			fmt.Sprintf("%.1f", allocsPerMsg),
+			fmt.Sprintf("%.1f", float64(msAfter.HeapAlloc)/(1<<20)),
 		})
 		return nil
 	}
@@ -139,45 +165,63 @@ func RunE14() (Table, error) {
 		ID: "E14",
 		Title: fmt.Sprintf("Churn sweep, flooding vs DHT (%d peers, %d queries, refresh every %v)",
 			ScenarioBenchConfig.Peers, ScenarioBenchConfig.Queries, dhtRefreshEvery),
-		Headers: []string{"protocol", "churn", "arr/dep", "final peers", "refreshes", "msgs/query", "recall", "lat p50", "lat p95", "real time"},
+		Headers: []string{"protocol", "churn", "arr/dep", "final peers", "refreshes", "msgs/query", "recall", "lat p50", "lat p95", "real time", "total msgs"},
 		Notes: []string{
 			"same workload as E10 (compare its centralized/fasttrack rows); expected",
 			"shape: DHT recall holds near 100% across churn because departures leave",
 			"k-1 replicas and each refresh re-replicates onto the current closest-k,",
-			"at per-query cost that is O(log n) instead of O(edges)",
+			"at per-query cost that is O(log n) instead of O(edges);",
+			"msgs/query charges only query traffic; maintenance (refresh probes,",
+			"republish STOREs) lands in total msgs;",
+			"the dht-always row reruns the heaviest churn rung with adaptive republish",
+			"disabled (every refresh re-STOREs every key): same recall and query cost,",
+			"more total messages — the gap is what the intact-holder-set check saves",
 		},
+	}
+	runRow := func(label string, proto sim.Protocol, churn float64, republishAlways bool) error {
+		rate := churn * float64(ScenarioBenchConfig.Peers) / scenarioDuration.Seconds()
+		cluster := dhtScenarioCluster(ScenarioBenchConfig.Peers, proto)
+		cluster.Latency = 30 * time.Millisecond
+		cluster.Jitter = 20 * time.Millisecond
+		cluster.DHTRepublishAlways = republishAlways
+		r, err := sim.RunScenario(sim.ScenarioConfig{
+			Cluster:         cluster,
+			Duration:        scenarioDuration,
+			QueryRate:       scenarioQueryRate(),
+			InitialObjects:  ScenarioBenchConfig.Peers,
+			ArrivalRate:     rate,
+			DepartureRate:   rate,
+			DHTRefreshEvery: dhtRefreshEvery,
+		})
+		if err != nil {
+			return err
+		}
+		t.Rows = append(t.Rows, []string{
+			label,
+			fmt.Sprintf("%.0f%%", churn*100),
+			fmt.Sprintf("%d/%d", r.Arrivals, r.Departures),
+			fmt.Sprintf("%d", r.FinalPeers),
+			fmt.Sprintf("%d", r.Refreshes),
+			fmt.Sprintf("%.1f", r.MsgsPerQuery()),
+			fmt.Sprintf("%.0f%%", 100*r.MeanRecall(0, 0)),
+			fmt.Sprintf("%v", r.LatencyPercentile(50).Round(time.Millisecond)),
+			fmt.Sprintf("%v", r.LatencyPercentile(95).Round(time.Millisecond)),
+			fmt.Sprintf("%v", r.Elapsed.Round(time.Millisecond)),
+			fmt.Sprintf("%d", r.Messages),
+		})
+		return nil
 	}
 	for _, proto := range []sim.Protocol{sim.Gnutella, sim.DHT} {
 		for _, churn := range []float64{0, 0.05, 0.20} {
-			rate := churn * float64(ScenarioBenchConfig.Peers) / scenarioDuration.Seconds()
-			cluster := dhtScenarioCluster(ScenarioBenchConfig.Peers, proto)
-			cluster.Latency = 30 * time.Millisecond
-			cluster.Jitter = 20 * time.Millisecond
-			r, err := sim.RunScenario(sim.ScenarioConfig{
-				Cluster:         cluster,
-				Duration:        scenarioDuration,
-				QueryRate:       scenarioQueryRate(),
-				InitialObjects:  ScenarioBenchConfig.Peers,
-				ArrivalRate:     rate,
-				DepartureRate:   rate,
-				DHTRefreshEvery: dhtRefreshEvery,
-			})
-			if err != nil {
+			if err := runRow(proto.String(), proto, churn, false); err != nil {
 				return t, err
 			}
-			t.Rows = append(t.Rows, []string{
-				proto.String(),
-				fmt.Sprintf("%.0f%%", churn*100),
-				fmt.Sprintf("%d/%d", r.Arrivals, r.Departures),
-				fmt.Sprintf("%d", r.FinalPeers),
-				fmt.Sprintf("%d", r.Refreshes),
-				fmt.Sprintf("%.1f", r.MsgsPerQuery()),
-				fmt.Sprintf("%.0f%%", 100*r.MeanRecall(0, 0)),
-				fmt.Sprintf("%v", r.LatencyPercentile(50).Round(time.Millisecond)),
-				fmt.Sprintf("%v", r.LatencyPercentile(95).Round(time.Millisecond)),
-				fmt.Sprintf("%v", r.Elapsed.Round(time.Millisecond)),
-			})
 		}
+	}
+	// Ablation: the adaptive-republish gain, measured at the heaviest
+	// churn rung (compare against the dht 20% row above).
+	if err := runRow("dht-always", sim.DHT, 0.20, true); err != nil {
+		return t, err
 	}
 	return t, nil
 }

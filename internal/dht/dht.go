@@ -32,8 +32,6 @@
 package dht
 
 import (
-	"encoding/json"
-	"fmt"
 	"time"
 
 	"repro/internal/index"
@@ -97,6 +95,12 @@ type Config struct {
 	// MaxRecordsPerKey caps per-key holder state (0 selects
 	// DefaultMaxRecordsPerKey).
 	MaxRecordsPerKey int
+	// RepublishAlways disables the adaptive republish check: every
+	// Refresh cycle re-STOREs every local key even when the previous
+	// announce's holder set is intact and the records are fresh.
+	// The paper-faithful (and expensive) baseline — E14 measures the
+	// message-count gap between this and the adaptive default.
+	RepublishAlways bool
 }
 
 func (c Config) withDefaults() Config {
@@ -218,13 +222,4 @@ type unstorePayload struct {
 	Key      ID               `json:"key"`
 	DocID    index.DocID      `json:"docId"`
 	Provider transport.PeerID `json:"provider"`
-}
-
-func marshal(v any) []byte {
-	b, err := json.Marshal(v)
-	if err != nil {
-		// Payloads are plain data; failure is a programming error.
-		panic(fmt.Sprintf("dht: marshal: %v", err))
-	}
-	return b
 }

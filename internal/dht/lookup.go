@@ -1,13 +1,43 @@
 package dht
 
 import (
-	"encoding/json"
+	"sync"
 
 	"repro/internal/errs"
 	"repro/internal/p2p"
 	"repro/internal/trace"
 	"repro/internal/transport"
 )
+
+// lookupRPC is one in-flight wave RPC.
+type lookupRPC struct {
+	contact Contact
+	reqID   uint64
+	ch      chan any
+}
+
+// lookupScratch pools a lookup's working state — shortlist, wave, and
+// bookkeeping maps — so the per-lookup steady state reuses slice
+// capacity and map buckets instead of reallocating them. Pooled (not
+// one-per-node) because sub-key fan-in re-enters lookup recursively:
+// every activation gets its own scratch.
+type lookupScratch struct {
+	short    []Contact
+	wave     []lookupRPC
+	state    map[transport.PeerID]peerState
+	known    map[transport.PeerID]bool
+	returned map[transport.PeerID]bool
+	recs     map[recordKey]Record
+}
+
+var lookupScratchPool = sync.Pool{New: func() any {
+	return &lookupScratch{
+		state:    make(map[transport.PeerID]peerState),
+		known:    make(map[transport.PeerID]bool),
+		returned: make(map[transport.PeerID]bool),
+		recs:     make(map[recordKey]Record),
+	}
+}}
 
 // valueQuery makes a lookup carry FIND_VALUE semantics: holders of
 // the target key evaluate the community/filter server-side and return
@@ -86,31 +116,32 @@ const (
 // it sends is stamped with and attributed to its wave.
 func (n *Node) lookup(tctx trace.Context, target ID, vq *valueQuery) lookupOutcome {
 	var out lookupOutcome
-	short := n.table.Closest(target, 0)
-	state := make(map[transport.PeerID]peerState, len(short))
-	known := make(map[transport.PeerID]bool, len(short))
+	sc := lookupScratchPool.Get().(*lookupScratch)
+	short := n.table.ClosestAppend(sc.short[:0], target, 0)
+	state, known, returned, recs := sc.state, sc.known, sc.returned, sc.recs
+	defer func() {
+		sc.short = short[:0]
+		clear(state)
+		clear(known)
+		clear(returned)
+		clear(recs)
+		lookupScratchPool.Put(sc)
+	}()
 	for _, c := range short {
 		known[c.Peer] = true
 	}
-	recs := make(map[recordKey]Record)
 	// returned marks peers whose reply carried records (they hold the
 	// value, so they are not cache-STORE candidates); splitFanout is
 	// the widest sub-key split any holder advertised.
-	returned := make(map[transport.PeerID]bool)
 	splitFanout := 0
 
-	type rpc struct {
-		contact Contact
-		reqID   uint64
-		ch      chan json.RawMessage
-	}
 	for {
 		// Pick up to α unqueried candidates among the K closest
 		// still-viable entries. Each wave is one trace span; the RPCs
 		// it issues are stamped with the wave's context.
 		wsp := n.tr().Start(tctx, "wave")
 		wctx := wsp.ContextOr(tctx)
-		var wave []rpc
+		wave := sc.wave[:0]
 		viable := 0
 		for _, c := range short {
 			if state[c.Peer] == stateFailed {
@@ -136,42 +167,51 @@ func (n *Node) lookup(tctx trace.Context, target ID, vq *valueQuery) lookupOutco
 				continue
 			}
 			state[c.Peer] = stateResponded // provisional; demoted on timeout
-			wave = append(wave, rpc{contact: c, reqID: reqID, ch: ch})
+			wave = append(wave, lookupRPC{contact: c, reqID: reqID, ch: ch})
 			if len(wave) == n.cfg.Alpha {
 				break
 			}
 		}
+		sc.wave = wave
 		if len(wave) == 0 {
 			break // span dropped unrecorded: an empty wave is not a round
 		}
 		out.rounds++
 		grew := false
 		for _, r := range wave {
-			raw, err := p2p.Await(n.clk, n.ep.Synchronous(), r.ch, n.cfg.RPCTimeout)
+			got, err := p2p.Await(n.clk, n.ep.Synchronous(), r.ch, n.cfg.RPCTimeout)
 			if err != nil {
 				n.pending.Drop(r.reqID)
 				state[r.contact.Peer] = stateFailed
 				n.reg.CountError(errs.Wrap("dht.lookup_rpc", err, "dht: lookup rpc failed"))
 				continue
 			}
-			var reply findValueReplyPayload // superset of the find-node reply
-			if err := json.Unmarshal(raw, &reply); err != nil {
+			// The handler resolved the reply as a typed frame: a
+			// find-value reply, or a find-node reply (peers only).
+			var records []Record
+			var peers []transport.PeerID
+			switch reply := got.(type) {
+			case *findValueReplyPayload:
+				records, peers = reply.Records, reply.Peers
+				if reply.Complete {
+					out.fromCache = true
+				}
+				if reply.Split > splitFanout {
+					splitFanout = reply.Split
+				}
+			case *findNodeReplyPayload:
+				peers = reply.Peers
+			default:
 				state[r.contact.Peer] = stateFailed
 				continue
 			}
-			if len(reply.Records) > 0 {
+			if len(records) > 0 {
 				returned[r.contact.Peer] = true
 			}
-			if reply.Complete {
-				out.fromCache = true
-			}
-			if reply.Split > splitFanout {
-				splitFanout = reply.Split
-			}
-			for _, rec := range reply.Records {
+			for _, rec := range records {
 				recs[recordKey{rec.DocID, rec.Provider}] = rec
 			}
-			for _, peer := range reply.Peers {
+			for _, peer := range peers {
 				if peer == n.ep.ID() || known[peer] {
 					continue
 				}
@@ -267,7 +307,7 @@ func (n *Node) sendLookupRPC(to transport.PeerID, reqID uint64, target ID, vq *v
 	var payload []byte
 	if vq != nil {
 		typ = MsgFindValue
-		payload = marshal(findValuePayload{
+		payload = n.cdc.Encode(&findValuePayload{
 			ReqID:       reqID,
 			Key:         target,
 			CommunityID: vq.communityID,
@@ -276,7 +316,7 @@ func (n *Node) sendLookupRPC(to transport.PeerID, reqID uint64, target ID, vq *v
 		})
 	} else {
 		typ = MsgFindNode
-		payload = marshal(findNodePayload{ReqID: reqID, Target: target})
+		payload = n.cdc.Encode(&findNodePayload{ReqID: reqID, Target: target})
 	}
 	err := n.ep.Send(transport.Message{
 		To:      to,

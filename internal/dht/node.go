@@ -1,7 +1,6 @@
 package dht
 
 import (
-	"encoding/json"
 	"sort"
 	"sync"
 	"time"
@@ -10,6 +9,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/metrics"
 	"repro/internal/p2p"
+	"repro/internal/p2p/codec"
 	"repro/internal/query"
 	"repro/internal/trace"
 	"repro/internal/transport"
@@ -34,6 +34,7 @@ type Node struct {
 	records *recordStore
 	pending *p2p.PendingTable
 	clk     dsim.Clock
+	cdc     codec.Codec
 
 	mu     sync.RWMutex
 	attach p2p.AttachmentProvider
@@ -85,6 +86,7 @@ func NewNode(ep transport.Endpoint, store *index.Store, cfg Config) *Node {
 		records:      newRecordStore(cfg.RecordTTL, cfg.MaxRecordsPerKey),
 		pending:      p2p.NewPendingTable(),
 		clk:          dsim.Wall,
+		cdc:          codec.Default,
 		lastAnnounce: make(map[ID]announceState),
 	}
 	n.SetMetrics(metrics.NewRegistry())
@@ -142,6 +144,15 @@ func (n *Node) ID() ID { return n.self }
 func (n *Node) SetClock(clk dsim.Clock) {
 	if clk != nil {
 		n.clk = clk
+	}
+}
+
+// SetCodec installs the wire codec for this node's frames (default
+// codec.Default). Like SetClock, call before traffic starts; every
+// node in a deployment must agree on the codec.
+func (n *Node) SetCodec(cd codec.Codec) {
+	if cd != nil {
+		n.cdc = cd
 	}
 }
 
@@ -302,7 +313,8 @@ func (n *Node) storeToTargets(tctx trace.Context, key ID, recs []Record, targets
 		if end > len(recs) {
 			end = len(recs)
 		}
-		payloads = append(payloads, marshal(storePayload{Key: key, Records: recs[start:end], Split: split}))
+		chunk := storePayload{Key: key, Records: recs[start:end], Split: split}
+		payloads = append(payloads, n.cdc.Encode(&chunk))
 	}
 	for _, t := range targets {
 		sp := n.tr().Start(tctx, "store")
@@ -334,7 +346,8 @@ func (n *Node) cacheStore(tctx trace.Context, key ID, target Contact, recs []Rec
 	sp := n.tr().Start(tctx, "cache-store")
 	sp.SetPeer(string(target.Peer))
 	sctx := sp.ContextOr(tctx)
-	payload := marshal(storePayload{Key: key, Records: recs, Cached: true, Filter: filter})
+	frame := storePayload{Key: key, Records: recs, Cached: true, Filter: filter}
+	payload := n.cdc.Encode(&frame)
 	err := n.ep.Send(transport.Message{To: target.Peer, Type: MsgStore, Payload: payload,
 		TraceID: sctx.Trace, SpanID: sctx.Span})
 	sp.AddMsgs(1, int64(len(payload)))
@@ -423,7 +436,8 @@ func (n *Node) Unpublish(id index.DocID) error {
 func (n *Node) unstore(tctx trace.Context, key ID, id index.DocID) {
 	out := n.lookup(tctx, key, nil)
 	n.records.remove(key, id, n.ep.ID())
-	payload := marshal(unstorePayload{Key: key, DocID: id, Provider: n.ep.ID()})
+	frame := unstorePayload{Key: key, DocID: id, Provider: n.ep.ID()}
+	payload := n.cdc.Encode(&frame)
 	for _, t := range out.contacts {
 		sp := n.tr().Start(tctx, "unstore")
 		sp.SetPeer(string(t.Peer))
@@ -546,7 +560,7 @@ func (n *Node) Retrieve(id index.DocID, from transport.PeerID) (*index.Document,
 	sp := n.tr().Root("fetch")
 	sp.SetPeer(string(from))
 	defer sp.Finish()
-	doc, err := p2p.RetrieveFrom(n.clk, n.ep, n.pending, &sp, id, from, 0)
+	doc, err := p2p.RetrieveFrom(n.cdc, n.clk, n.ep, n.pending, &sp, id, from, 0)
 	if err != nil {
 		n.nm.CountError(err)
 		return nil, err
@@ -560,7 +574,7 @@ func (n *Node) RetrieveAttachment(uri string, from transport.PeerID) ([]byte, er
 	sp := n.tr().Root("attachment")
 	sp.SetPeer(string(from))
 	defer sp.Finish()
-	return p2p.RetrieveAttachmentFrom(n.clk, n.ep, n.pending, &sp, uri, from, 0)
+	return p2p.RetrieveAttachmentFrom(n.cdc, n.clk, n.ep, n.pending, &sp, uri, from, 0)
 }
 
 // CheckLiveness probes the least-recently-seen contact of every
@@ -585,10 +599,11 @@ func (n *Node) CheckLiveness() int {
 // contact, as in Kademlia.
 func (n *Node) pingPeer(peer transport.PeerID) bool {
 	reqID, ch := n.pending.Create()
+	ping := pingPayload{ReqID: reqID}
 	err := n.ep.Send(transport.Message{
 		To:      peer,
 		Type:    MsgPing,
-		Payload: marshal(pingPayload{ReqID: reqID}),
+		Payload: n.cdc.Encode(&ping),
 	})
 	if err != nil {
 		n.pending.Drop(reqID)
@@ -658,6 +673,10 @@ func (n *Node) reannounce(tctx trace.Context, docs []*index.Document) error {
 // lookup as the STORE targeting, so deciding "republish" costs no
 // extra round-trips over announce.
 func (n *Node) reannounceKey(tctx trace.Context, key ID, recs []Record) {
+	if n.cfg.RepublishAlways {
+		n.storeRecords(tctx, key, recs)
+		return
+	}
 	n.annMu.Lock()
 	st, known := n.lastAnnounce[key]
 	n.annMu.Unlock()
@@ -709,24 +728,26 @@ func (n *Node) handle(msg transport.Message) {
 	switch msg.Type {
 	case MsgPing:
 		var req pingPayload
-		if err := json.Unmarshal(msg.Payload, &req); err != nil {
+		if err := n.cdc.DecodeValue(&req, msg.Payload); err != nil {
 			return
 		}
+		pong := pingPayload{ReqID: req.ReqID}
 		_ = n.ep.Send(transport.Message{
 			To:      msg.From,
 			Type:    MsgPong,
-			Payload: marshal(pingPayload{ReqID: req.ReqID}),
+			Payload: n.cdc.Encode(&pong),
 		})
 	case MsgFindNode:
 		var req findNodePayload
-		if err := json.Unmarshal(msg.Payload, &req); err != nil {
+		if err := n.cdc.DecodeValue(&req, msg.Payload); err != nil {
 			return
 		}
 		sp, tctx := n.startSpan(msg, "findnode.serve")
-		payload := marshal(findNodeReplyPayload{
+		reply := findNodeReplyPayload{
 			ReqID: req.ReqID,
 			Peers: contactPeers(n.table.Closest(req.Target, n.cfg.K)),
-		})
+		}
+		payload := n.cdc.Encode(&reply)
 		_ = n.ep.Send(transport.Message{
 			To:      msg.From,
 			Type:    MsgFindNodeReply,
@@ -738,7 +759,7 @@ func (n *Node) handle(msg transport.Message) {
 		sp.Finish()
 	case MsgFindValue:
 		var req findValuePayload
-		if err := json.Unmarshal(msg.Payload, &req); err != nil {
+		if err := n.cdc.DecodeValue(&req, msg.Payload); err != nil {
 			return
 		}
 		sp, tctx := n.startSpan(msg, "findvalue.serve")
@@ -757,7 +778,7 @@ func (n *Node) handle(msg transport.Message) {
 		// Advertise a hot-key split so the querier fans into the
 		// attribute-hash sub-keys holding the migrated records.
 		reply.Split = n.records.splitFanout(req.Key)
-		payload := marshal(reply)
+		payload := n.cdc.Encode(&reply)
 		_ = n.ep.Send(transport.Message{
 			To:      msg.From,
 			Type:    MsgFindValueReply,
@@ -769,7 +790,7 @@ func (n *Node) handle(msg transport.Message) {
 		sp.Finish()
 	case MsgStore:
 		var req storePayload
-		if err := json.Unmarshal(msg.Payload, &req); err != nil {
+		if err := n.cdc.DecodeValue(&req, msg.Payload); err != nil {
 			return
 		}
 		sp, _ := n.startSpan(msg, "store.serve")
@@ -803,7 +824,7 @@ func (n *Node) handle(msg transport.Message) {
 		sp.Finish()
 	case MsgUnstore:
 		var req unstorePayload
-		if err := json.Unmarshal(msg.Payload, &req); err != nil {
+		if err := n.cdc.DecodeValue(&req, msg.Payload); err != nil {
 			return
 		}
 		// Same provenance rule: only the providing peer can withdraw
@@ -814,21 +835,30 @@ func (n *Node) handle(msg transport.Message) {
 		sp, _ := n.startSpan(msg, "unstore.serve")
 		n.records.remove(req.Key, req.DocID, req.Provider)
 		sp.Finish()
-	case MsgPong, MsgFindNodeReply, MsgFindValueReply, p2p.MsgFetchReply, p2p.MsgAttachmentReply:
-		var probe struct {
-			ReqID uint64 `json:"reqId"`
+	case MsgPong:
+		reply := new(pingPayload)
+		if n.cdc.DecodeValue(reply, msg.Payload) == nil {
+			n.pending.Resolve(reply.ReqID, reply)
 		}
-		if err := json.Unmarshal(msg.Payload, &probe); err != nil {
-			return
+	case MsgFindNodeReply:
+		reply := new(findNodeReplyPayload)
+		if n.cdc.DecodeValue(reply, msg.Payload) == nil {
+			n.pending.Resolve(reply.ReqID, reply)
 		}
-		n.pending.Resolve(probe.ReqID, msg.Payload)
+	case MsgFindValueReply:
+		reply := new(findValueReplyPayload)
+		if n.cdc.DecodeValue(reply, msg.Payload) == nil {
+			n.pending.Resolve(reply.ReqID, reply)
+		}
+	case p2p.MsgFetchReply, p2p.MsgAttachmentReply:
+		p2p.ResolveRetrievalReply(n.cdc, n.pending, msg)
 	case p2p.MsgFetch:
-		p2p.ServeFetch(n.tr(), n.ep, n.store, msg)
+		p2p.ServeFetch(n.cdc, n.tr(), n.ep, n.store, msg)
 	case p2p.MsgAttachment:
 		n.mu.RLock()
 		p := n.attach
 		n.mu.RUnlock()
-		p2p.ServeAttachment(n.tr(), n.ep, p, msg)
+		p2p.ServeAttachment(n.cdc, n.tr(), n.ep, p, msg)
 	}
 }
 

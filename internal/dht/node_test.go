@@ -9,6 +9,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/metrics"
 	"repro/internal/p2p"
+	"repro/internal/p2p/codec"
 	"repro/internal/query"
 	"repro/internal/trace"
 	"repro/internal/transport"
@@ -272,10 +273,12 @@ func TestStoreProvenance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_ = atkEP.Send(transport.Message{To: holder.PeerID(), Type: MsgStore, Payload: marshal(storePayload{Key: key, Records: []Record{forged}})})
+	forgedStore := storePayload{Key: key, Records: []Record{forged}}
+	_ = atkEP.Send(transport.Message{To: holder.PeerID(), Type: MsgStore, Payload: codec.Default.Encode(&forgedStore)})
 	// Forged unstore: attacker withdraws the victim's real record.
 	real := doc(1, "patterns", "behavioral")
-	_ = atkEP.Send(transport.Message{To: holder.PeerID(), Type: MsgUnstore, Payload: marshal(unstorePayload{Key: key, DocID: real.ID, Provider: victim.PeerID()})})
+	forgedUnstore := unstorePayload{Key: key, DocID: real.ID, Provider: victim.PeerID()}
+	_ = atkEP.Send(transport.Message{To: holder.PeerID(), Type: MsgUnstore, Payload: codec.Default.Encode(&forgedUnstore)})
 	rs, err := attacker.Search("patterns", query.MustParse("(classification=behavioral)"), p2p.SearchOptions{})
 	if err != nil {
 		t.Fatal(err)

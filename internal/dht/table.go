@@ -142,17 +142,25 @@ func (t *Table) Oldest() []Contact {
 // target (ties — only possible between identical IDs — broken by peer
 // name, so the order is total and deterministic).
 func (t *Table) Closest(target ID, n int) []Contact {
+	return t.ClosestAppend(nil, target, n)
+}
+
+// ClosestAppend is Closest into caller-owned storage: the contacts are
+// appended to dst (reusing its capacity) and the extended slice
+// returned. The lookup hot path threads its pooled shortlist through
+// here so a wave costs no fresh contact slice.
+func (t *Table) ClosestAppend(dst []Contact, target ID, n int) []Contact {
+	start := len(dst)
 	t.mu.Lock()
-	all := make([]Contact, 0, t.size)
 	for i := range t.buckets {
-		all = append(all, t.buckets[i].live...)
+		dst = append(dst, t.buckets[i].live...)
 	}
 	t.mu.Unlock()
-	sortByDistance(all, target)
-	if n > 0 && len(all) > n {
-		all = all[:n]
+	sortByDistance(dst[start:], target)
+	if n > 0 && len(dst)-start > n {
+		dst = dst[:start+n]
 	}
-	return all
+	return dst
 }
 
 // sortByDistance orders contacts by XOR distance to target.

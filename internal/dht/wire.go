@@ -1,0 +1,181 @@
+package dht
+
+// Binary wire format for the DHT payloads (see internal/p2p/codec).
+// IDs travel as fixed 20-byte fields; everything else composes the
+// shared codec primitives. Field order IS the wire format.
+
+import (
+	"repro/internal/index"
+	"repro/internal/p2p/codec"
+	"repro/internal/transport"
+)
+
+func init() {
+	// Ping and pong carry the same frame (the pong echoes the ReqID).
+	codec.Register(MsgPing, func() codec.Frame { return new(pingPayload) })
+	codec.Register(MsgPong, func() codec.Frame { return new(pingPayload) })
+	codec.Register(MsgFindNode, func() codec.Frame { return new(findNodePayload) })
+	codec.Register(MsgFindNodeReply, func() codec.Frame { return new(findNodeReplyPayload) })
+	codec.Register(MsgFindValue, func() codec.Frame { return new(findValuePayload) })
+	codec.Register(MsgFindValueReply, func() codec.Frame { return new(findValueReplyPayload) })
+	codec.Register(MsgStore, func() codec.Frame { return new(storePayload) })
+	codec.Register(MsgUnstore, func() codec.Frame { return new(unstorePayload) })
+}
+
+func appendPeers(dst []byte, peers []transport.PeerID) []byte {
+	dst = codec.AppendUvarint(dst, uint64(len(peers)))
+	for _, p := range peers {
+		dst = codec.AppendString(dst, string(p))
+	}
+	return dst
+}
+
+func readPeers(r *codec.Reader) []transport.PeerID {
+	n := r.Len()
+	if r.Err() != nil || n == 0 {
+		return nil
+	}
+	out := make([]transport.PeerID, n)
+	for i := range out {
+		out[i] = transport.PeerID(r.String())
+	}
+	return out
+}
+
+func appendRecord(dst []byte, rec *Record) []byte {
+	dst = codec.AppendString(dst, string(rec.DocID))
+	dst = codec.AppendString(dst, rec.CommunityID)
+	dst = codec.AppendString(dst, rec.Title)
+	dst = codec.AppendAttrs(dst, rec.Attrs)
+	return codec.AppendString(dst, string(rec.Provider))
+}
+
+func readRecord(r *codec.Reader, out *Record) {
+	out.DocID = index.DocID(r.String())
+	out.CommunityID = r.String()
+	out.Title = r.String()
+	out.Attrs = r.Attrs()
+	out.Provider = transport.PeerID(r.String())
+}
+
+func appendRecords(dst []byte, recs []Record) []byte {
+	dst = codec.AppendUvarint(dst, uint64(len(recs)))
+	for i := range recs {
+		dst = appendRecord(dst, &recs[i])
+	}
+	return dst
+}
+
+func readRecords(r *codec.Reader) []Record {
+	n := r.Len()
+	if r.Err() != nil || n == 0 {
+		return nil
+	}
+	out := make([]Record, n)
+	for i := range out {
+		readRecord(r, &out[i])
+	}
+	return out
+}
+
+func (p *pingPayload) AppendBinary(dst []byte) []byte {
+	return codec.AppendUvarint(dst, p.ReqID)
+}
+
+func (p *pingPayload) DecodeBinary(data []byte) error {
+	r := codec.NewReader(data)
+	p.ReqID = r.Uvarint()
+	return r.Err()
+}
+
+func (p *findNodePayload) AppendBinary(dst []byte) []byte {
+	dst = codec.AppendUvarint(dst, p.ReqID)
+	return append(dst, p.Target[:]...)
+}
+
+func (p *findNodePayload) DecodeBinary(data []byte) error {
+	r := codec.NewReader(data)
+	p.ReqID = r.Uvarint()
+	r.Fixed(p.Target[:])
+	return r.Err()
+}
+
+func (p *findNodeReplyPayload) AppendBinary(dst []byte) []byte {
+	dst = codec.AppendUvarint(dst, p.ReqID)
+	return appendPeers(dst, p.Peers)
+}
+
+func (p *findNodeReplyPayload) DecodeBinary(data []byte) error {
+	r := codec.NewReader(data)
+	p.ReqID = r.Uvarint()
+	p.Peers = readPeers(r)
+	return r.Err()
+}
+
+func (p *findValuePayload) AppendBinary(dst []byte) []byte {
+	dst = codec.AppendUvarint(dst, p.ReqID)
+	dst = append(dst, p.Key[:]...)
+	dst = codec.AppendString(dst, p.CommunityID)
+	dst = codec.AppendString(dst, p.Filter)
+	return codec.AppendUvarint(dst, uint64(p.Limit))
+}
+
+func (p *findValuePayload) DecodeBinary(data []byte) error {
+	r := codec.NewReader(data)
+	p.ReqID = r.Uvarint()
+	r.Fixed(p.Key[:])
+	p.CommunityID = r.String()
+	p.Filter = r.String()
+	p.Limit = int(r.Uvarint())
+	return r.Err()
+}
+
+func (p *findValueReplyPayload) AppendBinary(dst []byte) []byte {
+	dst = codec.AppendUvarint(dst, p.ReqID)
+	dst = appendRecords(dst, p.Records)
+	dst = appendPeers(dst, p.Peers)
+	dst = codec.AppendUvarint(dst, uint64(p.Split))
+	return codec.AppendBool(dst, p.Complete)
+}
+
+func (p *findValueReplyPayload) DecodeBinary(data []byte) error {
+	r := codec.NewReader(data)
+	p.ReqID = r.Uvarint()
+	p.Records = readRecords(r)
+	p.Peers = readPeers(r)
+	p.Split = int(r.Uvarint())
+	p.Complete = r.Bool()
+	return r.Err()
+}
+
+func (p *storePayload) AppendBinary(dst []byte) []byte {
+	dst = append(dst, p.Key[:]...)
+	dst = appendRecords(dst, p.Records)
+	dst = codec.AppendBool(dst, p.Cached)
+	dst = codec.AppendString(dst, p.Filter)
+	return codec.AppendBool(dst, p.Split)
+}
+
+func (p *storePayload) DecodeBinary(data []byte) error {
+	r := codec.NewReader(data)
+	r.Fixed(p.Key[:])
+	p.Records = readRecords(r)
+	p.Cached = r.Bool()
+	p.Filter = r.String()
+	p.Split = r.Bool()
+	return r.Err()
+}
+
+func (p *unstorePayload) AppendBinary(dst []byte) []byte {
+	dst = append(dst, p.Key[:]...)
+	dst = codec.AppendString(dst, string(p.DocID))
+	return codec.AppendString(dst, string(p.Provider))
+}
+
+func (p *unstorePayload) DecodeBinary(data []byte) error {
+	r := codec.NewReader(data)
+	r.Fixed(p.Key[:])
+	p.DocID = index.DocID(r.String())
+	p.Provider = transport.PeerID(r.String())
+	return r.Err()
+}

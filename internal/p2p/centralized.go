@@ -1,7 +1,6 @@
 package p2p
 
 import (
-	"encoding/json"
 	"fmt"
 	"sync"
 	"time"
@@ -9,6 +8,7 @@ import (
 	"repro/internal/dsim"
 	"repro/internal/index"
 	"repro/internal/metrics"
+	"repro/internal/p2p/codec"
 	"repro/internal/query"
 	"repro/internal/trace"
 	"repro/internal/transport"
@@ -38,6 +38,7 @@ type IndexServer struct {
 	store     *index.Store
 	providers map[index.DocID][]transport.PeerID // registration order
 	tracer    *trace.Tracer
+	cdc       codec.Codec
 }
 
 // NewIndexServer attaches a server to the given endpoint with a
@@ -53,6 +54,7 @@ func NewIndexServerOn(ep transport.Endpoint, store *index.Store) *IndexServer {
 		ep:        ep,
 		store:     store,
 		providers: make(map[index.DocID][]transport.PeerID),
+		cdc:       codec.Default,
 	}
 	ep.SetHandler(s.handle)
 	return s
@@ -70,6 +72,14 @@ func (s *IndexServer) tr() *trace.Tracer {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.tracer
+}
+
+// SetCodec installs the wire codec (default codec.Default). Call
+// before traffic starts, and use one codec network-wide.
+func (s *IndexServer) SetCodec(c codec.Codec) {
+	if c != nil {
+		s.cdc = c
+	}
 }
 
 // Len returns the number of distinct registered documents.
@@ -103,7 +113,7 @@ func (s *IndexServer) handle(msg transport.Message) {
 	switch msg.Type {
 	case MsgRegister:
 		var reg registerPayload
-		if err := json.Unmarshal(msg.Payload, &reg); err != nil {
+		if err := s.cdc.DecodeValue(&reg, msg.Payload); err != nil {
 			return
 		}
 		sp := s.startSpan(msg, "register.serve")
@@ -111,7 +121,7 @@ func (s *IndexServer) handle(msg transport.Message) {
 		sp.Finish()
 	case MsgRegisterBatch:
 		var batch registerBatchPayload
-		if err := json.Unmarshal(msg.Payload, &batch); err != nil {
+		if err := s.cdc.DecodeValue(&batch, msg.Payload); err != nil {
 			return
 		}
 		sp := s.startSpan(msg, "register.serve")
@@ -119,7 +129,7 @@ func (s *IndexServer) handle(msg transport.Message) {
 		sp.Finish()
 	case MsgUnregister:
 		var unreg unregisterPayload
-		if err := json.Unmarshal(msg.Payload, &unreg); err != nil {
+		if err := s.cdc.DecodeValue(&unreg, msg.Payload); err != nil {
 			return
 		}
 		s.mu.Lock()
@@ -139,7 +149,7 @@ func (s *IndexServer) handle(msg transport.Message) {
 		s.mu.Unlock()
 	case MsgSearch:
 		var req searchPayload
-		if err := json.Unmarshal(msg.Payload, &req); err != nil {
+		if err := s.cdc.DecodeValue(&req, msg.Payload); err != nil {
 			return
 		}
 		inCtx := trace.Context{Trace: msg.TraceID, Span: msg.SpanID}
@@ -151,7 +161,7 @@ func (s *IndexServer) handle(msg transport.Message) {
 			f = query.MatchAll{}
 		}
 		results := s.search(req.CommunityID, f, req.Limit)
-		payload := marshal(searchHitPayload{ReqID: req.ReqID, Results: results})
+		payload := s.cdc.Encode(&searchHitPayload{ReqID: req.ReqID, Results: results})
 		_ = s.ep.Send(transport.Message{
 			To:      msg.From,
 			Type:    MsgSearchHit,
@@ -241,6 +251,7 @@ type CentralizedClient struct {
 	store   *index.Store
 	pending *PendingTable
 	clk     dsim.Clock
+	cdc     codec.Codec
 	nm      *NodeMetrics
 	// metricsProto labels this client's telemetry; "centralized" here,
 	// overridden to "fasttrack" by NewFastTrackLeaf (a leaf is this
@@ -265,6 +276,7 @@ func NewCentralizedClient(ep transport.Endpoint, server transport.PeerID, store 
 		store:        store,
 		pending:      NewPendingTable(),
 		clk:          dsim.Wall,
+		cdc:          codec.Default,
 		metricsProto: "centralized",
 	}
 	c.nm = NewNodeMetrics(metrics.Discard(), c.metricsProto)
@@ -312,6 +324,14 @@ func (c *CentralizedClient) SetClock(clk dsim.Clock) {
 	}
 }
 
+// SetCodec installs the wire codec (default codec.Default). Call
+// before traffic starts, and use one codec network-wide.
+func (c *CentralizedClient) SetCodec(cd codec.Codec) {
+	if cd != nil {
+		c.cdc = cd
+	}
+}
+
 // Server returns the index server (or super-peer) this client is
 // currently attached to.
 func (c *CentralizedClient) Server() transport.PeerID {
@@ -338,7 +358,8 @@ func (c *CentralizedClient) Publish(doc *index.Document) error {
 	sp.SetCommunity(doc.CommunityID)
 	defer sp.Finish()
 	tctx := sp.Context()
-	payload := marshal(registerPayloadFor(doc))
+	reg := registerPayloadFor(doc)
+	payload := c.cdc.Encode(&reg)
 	sp.AddMsgs(1, int64(len(payload)))
 	return c.ep.Send(transport.Message{
 		To:      c.Server(),
@@ -380,7 +401,7 @@ func (c *CentralizedClient) registerBatch(server transport.PeerID, docs []*index
 		for _, doc := range docs[start:end] {
 			regs = append(regs, registerPayloadFor(doc))
 		}
-		payload := marshal(registerBatchPayload{Docs: regs})
+		payload := c.cdc.Encode(&registerBatchPayload{Docs: regs})
 		err := c.ep.Send(transport.Message{
 			To:      server,
 			Type:    MsgRegisterBatch,
@@ -421,7 +442,7 @@ func (c *CentralizedClient) Unpublish(id index.DocID) error {
 	return c.ep.Send(transport.Message{
 		To:      c.Server(),
 		Type:    MsgUnregister,
-		Payload: marshal(unregisterPayload{DocID: id}),
+		Payload: c.cdc.Encode(&unregisterPayload{DocID: id}),
 	})
 }
 
@@ -438,7 +459,7 @@ func (c *CentralizedClient) Search(communityID string, f query.Filter, opts Sear
 	defer sp.Finish()
 	tctx := sp.ContextOr(opts.Trace)
 	reqID, ch := c.pending.Create()
-	payload := marshal(searchPayload{
+	payload := c.cdc.Encode(&searchPayload{
 		ReqID:       reqID,
 		CommunityID: communityID,
 		Filter:      f.String(),
@@ -458,16 +479,16 @@ func (c *CentralizedClient) Search(communityID string, f query.Filter, opts Sear
 		sp.SetErr(err)
 		return nil, fmt.Errorf("p2p: search: %w", err)
 	}
-	raw, err := Await(c.clk, c.ep.Synchronous(), ch, opts.Timeout)
+	got, err := Await(c.clk, c.ep.Synchronous(), ch, opts.Timeout)
 	if err != nil {
 		c.pending.Drop(reqID)
 		nm.CountError(err)
 		sp.SetErr(err)
 		return nil, err
 	}
-	var hit searchHitPayload
-	if err := json.Unmarshal(raw, &hit); err != nil {
-		return nil, fmt.Errorf("p2p: search reply: %w", err)
+	hit, ok := got.(*searchHitPayload)
+	if !ok {
+		return nil, fmt.Errorf("p2p: search reply: unexpected frame %T", got)
 	}
 	nm.ObserveSearch(c.clk, start, len(hit.Results))
 	return hit.Results, nil
@@ -482,7 +503,7 @@ func (c *CentralizedClient) Retrieve(id index.DocID, from transport.PeerID) (*in
 	sp := c.tr().Root("fetch")
 	sp.SetPeer(string(from))
 	defer sp.Finish()
-	doc, err := RetrieveFrom(c.clk, c.ep, c.pending, &sp, id, from, 0)
+	doc, err := RetrieveFrom(c.cdc, c.clk, c.ep, c.pending, &sp, id, from, 0)
 	if err != nil {
 		nm.CountError(err)
 		return nil, err
@@ -496,7 +517,7 @@ func (c *CentralizedClient) RetrieveAttachment(uri string, from transport.PeerID
 	sp := c.tr().Root("attachment")
 	sp.SetPeer(string(from))
 	defer sp.Finish()
-	return RetrieveAttachmentFrom(c.clk, c.ep, c.pending, &sp, uri, from, 0)
+	return RetrieveAttachmentFrom(c.cdc, c.clk, c.ep, c.pending, &sp, uri, from, 0)
 }
 
 // Close implements Network.
@@ -515,29 +536,19 @@ func (c *CentralizedClient) handle(msg transport.Message) {
 	switch msg.Type {
 	case MsgSearchHit:
 		var hit searchHitPayload
-		if err := json.Unmarshal(msg.Payload, &hit); err != nil {
+		if err := c.cdc.DecodeValue(&hit, msg.Payload); err != nil {
 			return
 		}
-		c.pending.Resolve(hit.ReqID, msg.Payload)
-	case MsgFetchReply:
-		var reply fetchReplyPayload
-		if err := json.Unmarshal(msg.Payload, &reply); err != nil {
-			return
-		}
-		c.pending.Resolve(reply.ReqID, msg.Payload)
-	case MsgAttachmentReply:
-		var reply attachmentReplyPayload
-		if err := json.Unmarshal(msg.Payload, &reply); err != nil {
-			return
-		}
-		c.pending.Resolve(reply.ReqID, msg.Payload)
+		c.pending.Resolve(hit.ReqID, &hit)
+	case MsgFetchReply, MsgAttachmentReply:
+		ResolveRetrievalReply(c.cdc, c.pending, msg)
 	case MsgFetch:
-		ServeFetch(c.tr(), c.ep, c.store, msg)
+		ServeFetch(c.cdc, c.tr(), c.ep, c.store, msg)
 	case MsgAttachment:
 		c.mu.RLock()
 		p := c.attach
 		c.mu.RUnlock()
-		ServeAttachment(c.tr(), c.ep, p, msg)
+		ServeAttachment(c.cdc, c.tr(), c.ep, p, msg)
 	}
 }
 

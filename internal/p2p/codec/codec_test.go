@@ -1,0 +1,207 @@
+package codec
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/query"
+)
+
+// testFrame exercises every primitive: varints, strings, bytes,
+// bools, and the sorted-attrs map.
+type testFrame struct {
+	ReqID uint64      `json:"reqId"`
+	Name  string      `json:"name"`
+	Blob  []byte      `json:"blob,omitempty"`
+	Found bool        `json:"found"`
+	Attrs query.Attrs `json:"attrs,omitempty"`
+	Tags  []string    `json:"tags,omitempty"`
+}
+
+func (f *testFrame) AppendBinary(dst []byte) []byte {
+	dst = AppendUvarint(dst, f.ReqID)
+	dst = AppendString(dst, f.Name)
+	dst = AppendBytes(dst, f.Blob)
+	dst = AppendBool(dst, f.Found)
+	dst = AppendAttrs(dst, f.Attrs)
+	dst = AppendUvarint(dst, uint64(len(f.Tags)))
+	for _, t := range f.Tags {
+		dst = AppendString(dst, t)
+	}
+	return dst
+}
+
+func (f *testFrame) DecodeBinary(data []byte) error {
+	r := NewReader(data)
+	f.ReqID = r.Uvarint()
+	f.Name = r.String()
+	f.Blob = r.Bytes()
+	f.Found = r.Bool()
+	f.Attrs = r.Attrs()
+	n := r.Len()
+	f.Tags = f.Tags[:0]
+	for i := 0; i < n; i++ {
+		f.Tags = append(f.Tags, r.String())
+	}
+	if len(f.Tags) == 0 {
+		f.Tags = nil
+	}
+	return r.Err()
+}
+
+func sampleFrame() *testFrame {
+	a := query.Attrs{}
+	a.Add("classification", "behavioral")
+	a.Add("classification", "structural")
+	a.Add("author", "GoF")
+	return &testFrame{
+		ReqID: 1<<40 + 7,
+		Name:  "observer",
+		Blob:  []byte{0, 1, 2, 0xff},
+		Found: true,
+		Attrs: a,
+		Tags:  []string{"x", "y"},
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	for _, f := range []*testFrame{sampleFrame(), {}} {
+		enc := Binary.Encode(f)
+		var got testFrame
+		if err := Binary.DecodeValue(&got, enc); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !reflect.DeepEqual(f, &got) {
+			t.Fatalf("round trip mismatch:\n in  %+v\n out %+v", f, &got)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	f := sampleFrame()
+	enc := JSON.Encode(f)
+	var got testFrame
+	if err := JSON.DecodeValue(&got, enc); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(f, &got) {
+		t.Fatalf("round trip mismatch:\n in  %+v\n out %+v", f, &got)
+	}
+}
+
+// TestBinaryDeterministic: map-valued fields must encode identically
+// regardless of map iteration order, run after run.
+func TestBinaryDeterministic(t *testing.T) {
+	base := Binary.Encode(sampleFrame())
+	for i := 0; i < 32; i++ {
+		if got := Binary.Encode(sampleFrame()); !bytes.Equal(base, got) {
+			t.Fatalf("encoding not deterministic on iteration %d", i)
+		}
+	}
+}
+
+func TestBinaryTruncated(t *testing.T) {
+	enc := Binary.Encode(sampleFrame())
+	for cut := 0; cut < len(enc); cut++ {
+		var got testFrame
+		if err := Binary.DecodeValue(&got, enc[:cut]); err == nil {
+			// A prefix may be a valid shorter frame only if every
+			// remaining field happens to decode as zero — with our
+			// sample's trailing content that never happens.
+			t.Fatalf("truncation at %d/%d not detected", cut, len(enc))
+		}
+	}
+}
+
+func TestReaderCorruptLength(t *testing.T) {
+	// A length prefix far beyond the buffer must fail, not allocate.
+	buf := AppendUvarint(nil, 1<<50)
+	r := NewReader(buf)
+	if r.Bytes() != nil || r.Err() == nil {
+		t.Fatal("oversized length prefix not rejected")
+	}
+}
+
+func TestByName(t *testing.T) {
+	if ByName("json") != JSON || ByName("binary") != Binary {
+		t.Fatal("ByName mapping broken")
+	}
+	if ByName("") != Default || ByName("bogus") != Default {
+		t.Fatal("ByName default broken")
+	}
+}
+
+// TestBinaryEncodeAllocs pins the binary hot path: one allocation per
+// Encode (the exact-size payload), zero per DecodeValue beyond the
+// decoded fields themselves (none for this all-scalar frame).
+func TestBinaryEncodeAllocs(t *testing.T) {
+	f := &testFrame{ReqID: 42, Name: "q", Found: true}
+	// Warm the scratch pool.
+	Binary.Encode(f)
+	if n := testing.AllocsPerRun(200, func() {
+		Binary.Encode(f)
+	}); n > 1 {
+		t.Fatalf("binary encode allocs/op = %v, want <= 1", n)
+	}
+	enc := Binary.Encode(f)
+	var dst testFrame
+	if n := testing.AllocsPerRun(200, func() {
+		dst = testFrame{}
+		if err := Binary.DecodeValue(&dst, enc); err != nil {
+			t.Fatal(err)
+		}
+	}); n > 0 {
+		t.Fatalf("binary decode allocs/op = %v, want 0", n)
+	}
+}
+
+// TestWirePathAllocComparison backs the EXPERIMENTS.md claim about
+// per-message wire cost: on an RPC-shaped scalar frame (the shape of
+// pings, findNode waves, and reply headers — the bulk of DHT traffic)
+// the binary path spends 1 allocation per encode+decode round trip
+// against JSON's 5. The assertion is deliberately looser than the
+// measured 5x so a stdlib encoding/json improvement doesn't break CI;
+// if it fires, remeasure and update the doc.
+func TestWirePathAllocComparison(t *testing.T) {
+	f := &testFrame{ReqID: 42, Name: "q", Found: true}
+	Binary.Encode(f) // warm the scratch pool
+	binEnc := Binary.Encode(f)
+	jsonEnc := JSON.Encode(f)
+	var dst testFrame
+	bin := testing.AllocsPerRun(500, func() { Binary.Encode(f) }) +
+		testing.AllocsPerRun(500, func() { dst = testFrame{}; Binary.DecodeValue(&dst, binEnc) })
+	jsn := testing.AllocsPerRun(500, func() { JSON.Encode(f) }) +
+		testing.AllocsPerRun(500, func() { dst = testFrame{}; JSON.DecodeValue(&dst, jsonEnc) })
+	t.Logf("scalar frame allocs per encode+decode: binary=%v json=%v (%.1fx)", bin, jsn, jsn/bin)
+	if bin > 1 {
+		t.Errorf("binary wire path allocs/msg = %v, want <= 1", bin)
+	}
+	if jsn < 3*bin {
+		t.Errorf("json/binary alloc ratio %.1fx below 3x — remeasure and update EXPERIMENTS.md", jsn/bin)
+	}
+}
+
+func BenchmarkBinaryRoundTrip(b *testing.B) {
+	f := sampleFrame()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		enc := Binary.Encode(f)
+		var got testFrame
+		if err := Binary.DecodeValue(&got, enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkJSONRoundTrip(b *testing.B) {
+	f := sampleFrame()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		enc := JSON.Encode(f)
+		var got testFrame
+		if err := JSON.DecodeValue(&got, enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,12 +1,13 @@
 package p2p
 
 import (
-	"encoding/json"
+	"slices"
 	"sort"
 	"sync"
 
 	"repro/internal/index"
 	"repro/internal/metrics"
+	"repro/internal/p2p/codec"
 	"repro/internal/query"
 	"repro/internal/trace"
 	"repro/internal/transport"
@@ -38,6 +39,7 @@ type serverEntry struct {
 type SuperPeer struct {
 	ep     transport.Endpoint
 	guids  *guidSource
+	cdc    codec.Codec
 	tracer *trace.Tracer
 
 	mu        sync.RWMutex
@@ -45,8 +47,10 @@ type SuperPeer struct {
 	// docIDs mirrors leafIndex's keys in sorted order, maintained on
 	// registration/removal, so every search iterates deterministically
 	// without re-sorting the keyset on the query hot path.
-	docIDs    []index.DocID
-	neighbors map[transport.PeerID]struct{}
+	docIDs []index.DocID
+	// neighbors is a copy-on-write sorted slice, like GnutellaNode's:
+	// overlay floods iterate it with no snapshot allocation.
+	neighbors []transport.PeerID
 	seen      map[uint64]transport.PeerID
 	collect   map[uint64]*hitCollector
 	closed    bool
@@ -57,8 +61,8 @@ func NewSuperPeer(ep transport.Endpoint) *SuperPeer {
 	s := &SuperPeer{
 		ep:        ep,
 		guids:     newGUIDSource(ep.ID()),
+		cdc:       codec.Default,
 		leafIndex: make(map[index.DocID][]serverEntry),
-		neighbors: make(map[transport.PeerID]struct{}),
 		seen:      make(map[uint64]transport.PeerID),
 		collect:   make(map[uint64]*hitCollector),
 	}
@@ -83,27 +87,37 @@ func (s *SuperPeer) tr() *trace.Tracer {
 	return s.tracer
 }
 
+// SetCodec installs the wire codec (default codec.Default). Call
+// before traffic starts, and use one codec network-wide.
+func (s *SuperPeer) SetCodec(c codec.Codec) {
+	if c != nil {
+		s.cdc = c
+	}
+}
+
 // AddNeighbor links this super-peer to another (one direction).
 func (s *SuperPeer) AddNeighbor(peer transport.PeerID) {
+	if peer == s.ep.ID() {
+		return
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if peer != s.ep.ID() {
-		s.neighbors[peer] = struct{}{}
-	}
+	s.neighbors = peerSliceAdd(s.neighbors, peer)
 }
 
 // RemoveNeighbor unlinks a failed super-peer from the overlay.
 func (s *SuperPeer) RemoveNeighbor(peer transport.PeerID) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	delete(s.neighbors, peer)
+	s.neighbors = peerSliceRemove(s.neighbors, peer)
 }
 
-// Neighbors returns the current super-peer overlay links, sorted.
+// Neighbors returns a copy of the current super-peer overlay links,
+// sorted.
 func (s *SuperPeer) Neighbors() []transport.PeerID {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return sortedPeers(s.neighbors)
+	return slices.Clone(s.neighbors)
 }
 
 // Len returns the number of distinct documents indexed for leaves.
@@ -166,7 +180,7 @@ func (s *SuperPeer) handle(msg transport.Message) {
 	switch msg.Type {
 	case MsgRegister:
 		var reg registerPayload
-		if err := json.Unmarshal(msg.Payload, &reg); err != nil {
+		if err := s.cdc.DecodeValue(&reg, msg.Payload); err != nil {
 			return
 		}
 		sp := s.startSpan(msg, "register.serve")
@@ -174,7 +188,7 @@ func (s *SuperPeer) handle(msg transport.Message) {
 		sp.Finish()
 	case MsgRegisterBatch:
 		var batch registerBatchPayload
-		if err := json.Unmarshal(msg.Payload, &batch); err != nil {
+		if err := s.cdc.DecodeValue(&batch, msg.Payload); err != nil {
 			return
 		}
 		sp := s.startSpan(msg, "register.serve")
@@ -182,7 +196,7 @@ func (s *SuperPeer) handle(msg transport.Message) {
 		sp.Finish()
 	case MsgUnregister:
 		var unreg unregisterPayload
-		if err := json.Unmarshal(msg.Payload, &unreg); err != nil {
+		if err := s.cdc.DecodeValue(&unreg, msg.Payload); err != nil {
 			return
 		}
 		s.mu.Lock()
@@ -239,7 +253,7 @@ func (s *SuperPeer) registerLeaf(from transport.PeerID, regs []registerPayload) 
 // gathered by flooding other super-peers.
 func (s *SuperPeer) handleLeafSearch(msg transport.Message) {
 	var req searchPayload
-	if err := json.Unmarshal(msg.Payload, &req); err != nil {
+	if err := s.cdc.DecodeValue(&req, msg.Payload); err != nil {
 		return
 	}
 	inCtx := trace.Context{Trace: msg.TraceID, Span: msg.SpanID}
@@ -259,7 +273,7 @@ func (s *SuperPeer) handleLeafSearch(msg transport.Message) {
 	s.mu.Lock()
 	s.collect[guid] = col
 	s.seen[guid] = s.ep.ID()
-	neighbors := sortedPeers(s.neighbors)
+	neighbors := s.neighbors
 	s.mu.Unlock()
 	q := queryPayload{
 		GUID:        guid,
@@ -268,7 +282,7 @@ func (s *SuperPeer) handleLeafSearch(msg transport.Message) {
 		Filter:      f.String(),
 		TTL:         DefaultTTL,
 	}
-	payload := marshal(q)
+	payload := s.cdc.Encode(&q)
 	for _, n := range neighbors {
 		_ = s.ep.Send(transport.Message{To: n, Type: MsgQuery, Payload: payload,
 			TraceID: tctx.Trace, SpanID: tctx.Span})
@@ -281,7 +295,7 @@ func (s *SuperPeer) handleLeafSearch(msg transport.Message) {
 	s.mu.Lock()
 	delete(s.collect, guid)
 	s.mu.Unlock()
-	reply := marshal(searchHitPayload{ReqID: req.ReqID, Results: merged})
+	reply := s.cdc.Encode(&searchHitPayload{ReqID: req.ReqID, Results: merged})
 	_ = s.ep.Send(transport.Message{
 		To:      msg.From,
 		Type:    MsgSearchHit,
@@ -333,7 +347,7 @@ func (s *SuperPeer) localSearch(communityID string, f query.Filter, limit int) [
 
 func (s *SuperPeer) handleQuery(msg transport.Message) {
 	var q queryPayload
-	if err := json.Unmarshal(msg.Payload, &q); err != nil {
+	if err := s.cdc.DecodeValue(&q, msg.Payload); err != nil {
 		return
 	}
 	inCtx := trace.Context{Trace: msg.TraceID, Span: msg.SpanID}
@@ -348,7 +362,7 @@ func (s *SuperPeer) handleQuery(msg transport.Message) {
 		return
 	}
 	s.seen[q.GUID] = msg.From
-	neighbors := sortedPeers(s.neighbors)
+	neighbors := s.neighbors
 	s.mu.Unlock()
 	f, err := query.Parse(q.Filter)
 	if err != nil {
@@ -360,7 +374,7 @@ func (s *SuperPeer) handleQuery(msg transport.Message) {
 		results[i].Hops = hops
 	}
 	if len(results) > 0 {
-		hit := marshal(queryHitPayload{GUID: q.GUID, Results: results})
+		hit := s.cdc.Encode(&queryHitPayload{GUID: q.GUID, Results: results})
 		_ = s.ep.Send(transport.Message{
 			To:      msg.From,
 			Type:    MsgQueryHit,
@@ -376,7 +390,7 @@ func (s *SuperPeer) handleQuery(msg transport.Message) {
 	fwd := q
 	fwd.TTL--
 	fwd.Hops = hops
-	payload := marshal(fwd)
+	payload := s.cdc.Encode(&fwd)
 	for _, n := range neighbors {
 		if n != msg.From {
 			_ = s.ep.Send(transport.Message{To: n, Type: MsgQuery, Payload: payload,
@@ -388,7 +402,7 @@ func (s *SuperPeer) handleQuery(msg transport.Message) {
 
 func (s *SuperPeer) handleQueryHit(msg transport.Message) {
 	var hit queryHitPayload
-	if err := json.Unmarshal(msg.Payload, &hit); err != nil {
+	if err := s.cdc.DecodeValue(&hit, msg.Payload); err != nil {
 		return
 	}
 	s.mu.RLock()

@@ -1,9 +1,11 @@
 package p2p
 
 import (
-	"encoding/json"
 	"fmt"
+	"slices"
 	"sync"
+
+	"repro/internal/p2p/codec"
 
 	"repro/internal/dsim"
 	"repro/internal/index"
@@ -23,11 +25,16 @@ type GnutellaNode struct {
 	pending *PendingTable
 	guids   *guidSource
 	clk     dsim.Clock
+	cdc     codec.Codec
 	nm      *NodeMetrics
 	tracer  *trace.Tracer
 
-	mu        sync.RWMutex
-	neighbors map[transport.PeerID]struct{}
+	mu sync.RWMutex
+	// neighbors is a copy-on-write sorted slice: floods iterate it
+	// directly with no per-search sort or snapshot allocation, and
+	// membership changes replace the slice wholesale (they are rare —
+	// overlay wiring and churn — while floods are the hot path).
+	neighbors []transport.PeerID
 	// seen maps query GUID -> the neighbor the query arrived from, for
 	// duplicate suppression and reverse-path hit routing.
 	seen map[uint64]transport.PeerID
@@ -73,14 +80,14 @@ var _ Network = (*GnutellaNode)(nil)
 // plays the same role).
 func NewGnutellaNode(ep transport.Endpoint, store *index.Store) *GnutellaNode {
 	g := &GnutellaNode{
-		ep:        ep,
-		store:     store,
-		pending:   NewPendingTable(),
-		guids:     newGUIDSource(ep.ID()),
-		clk:       dsim.Wall,
-		neighbors: make(map[transport.PeerID]struct{}),
-		seen:      make(map[uint64]transport.PeerID),
-		collect:   make(map[uint64]*hitCollector),
+		ep:      ep,
+		store:   store,
+		pending: NewPendingTable(),
+		guids:   newGUIDSource(ep.ID()),
+		clk:     dsim.Wall,
+		cdc:     codec.Default,
+		seen:    make(map[uint64]transport.PeerID),
+		collect: make(map[uint64]*hitCollector),
 	}
 	g.nm = NewNodeMetrics(metrics.Discard(), "gnutella")
 	ep.SetHandler(g.handle)
@@ -124,31 +131,40 @@ func (g *GnutellaNode) SetClock(clk dsim.Clock) {
 	}
 }
 
+// SetCodec installs the wire codec (default codec.Default). Call
+// before traffic starts, and use one codec network-wide.
+func (g *GnutellaNode) SetCodec(c codec.Codec) {
+	if c != nil {
+		g.cdc = c
+	}
+}
+
 // PeerID implements Network.
 func (g *GnutellaNode) PeerID() transport.PeerID { return g.ep.ID() }
 
 // AddNeighbor links this node to a peer in the overlay (one
 // direction; callers typically link both ways).
 func (g *GnutellaNode) AddNeighbor(peer transport.PeerID) {
+	if peer == g.ep.ID() {
+		return
+	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	if peer != g.ep.ID() {
-		g.neighbors[peer] = struct{}{}
-	}
+	g.neighbors = peerSliceAdd(g.neighbors, peer)
 }
 
 // RemoveNeighbor unlinks a peer.
 func (g *GnutellaNode) RemoveNeighbor(peer transport.PeerID) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	delete(g.neighbors, peer)
+	g.neighbors = peerSliceRemove(g.neighbors, peer)
 }
 
-// Neighbors returns the current neighbor set, sorted.
+// Neighbors returns a copy of the current neighbor set, sorted.
 func (g *GnutellaNode) Neighbors() []transport.PeerID {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-	return sortedPeers(g.neighbors)
+	return slices.Clone(g.neighbors)
 }
 
 // SetAttachmentProvider implements Network.
@@ -234,7 +250,7 @@ func (g *GnutellaNode) Search(communityID string, f query.Filter, opts SearchOpt
 		TTL:         ttl,
 		Hops:        0,
 	}
-	payload := marshal(q)
+	payload := g.cdc.Encode(&q)
 	for _, n := range neighbors {
 		// Unreachable neighbors are skipped, like UDP loss in the
 		// original protocol.
@@ -268,7 +284,7 @@ func (g *GnutellaNode) Retrieve(id index.DocID, from transport.PeerID) (*index.D
 	sp := g.tr().Root("fetch")
 	sp.SetPeer(string(from))
 	defer sp.Finish()
-	doc, err := RetrieveFrom(g.clk, g.ep, g.pending, &sp, id, from, 0)
+	doc, err := RetrieveFrom(g.cdc, g.clk, g.ep, g.pending, &sp, id, from, 0)
 	if err != nil {
 		nm.CountError(err)
 		return nil, err
@@ -282,7 +298,7 @@ func (g *GnutellaNode) RetrieveAttachment(uri string, from transport.PeerID) ([]
 	sp := g.tr().Root("attachment")
 	sp.SetPeer(string(from))
 	defer sp.Finish()
-	return RetrieveAttachmentFrom(g.clk, g.ep, g.pending, &sp, uri, from, 0)
+	return RetrieveAttachmentFrom(g.cdc, g.clk, g.ep, g.pending, &sp, uri, from, 0)
 }
 
 // Close implements Network.
@@ -297,10 +313,11 @@ func (g *GnutellaNode) Close() error {
 	return g.ep.Close()
 }
 
-// neighborList snapshots the neighbor set in sorted order (caller
-// holds mu): floods fan out deterministically, not in map order.
+// neighborList returns the sorted copy-on-write neighbor slice
+// (caller holds mu): already ordered, shared read-only — floods fan
+// out deterministically with zero snapshot cost.
 func (g *GnutellaNode) neighborList() []transport.PeerID {
-	return sortedPeers(g.neighbors)
+	return g.neighbors
 }
 
 func (g *GnutellaNode) localResults(communityID string, f query.Filter, limit int) []Result {
@@ -329,26 +346,20 @@ func (g *GnutellaNode) handle(msg transport.Message) {
 	case MsgPong:
 		g.handlePong(msg)
 	case MsgFetch:
-		ServeFetch(g.tr(), g.ep, g.store, msg)
+		ServeFetch(g.cdc, g.tr(), g.ep, g.store, msg)
 	case MsgFetchReply, MsgAttachmentReply:
-		var probe struct {
-			ReqID uint64 `json:"reqId"`
-		}
-		if err := json.Unmarshal(msg.Payload, &probe); err != nil {
-			return
-		}
-		g.pending.Resolve(probe.ReqID, msg.Payload)
+		ResolveRetrievalReply(g.cdc, g.pending, msg)
 	case MsgAttachment:
 		g.mu.RLock()
 		p := g.attach
 		g.mu.RUnlock()
-		ServeAttachment(g.tr(), g.ep, p, msg)
+		ServeAttachment(g.cdc, g.tr(), g.ep, p, msg)
 	}
 }
 
 func (g *GnutellaNode) handleQuery(msg transport.Message) {
 	var q queryPayload
-	if err := json.Unmarshal(msg.Payload, &q); err != nil {
+	if err := g.cdc.DecodeValue(&q, msg.Payload); err != nil {
 		return
 	}
 	inCtx := trace.Context{Trace: msg.TraceID, Span: msg.SpanID}
@@ -377,7 +388,7 @@ func (g *GnutellaNode) handleQuery(msg transport.Message) {
 		results[i].Hops = hops
 	}
 	if len(results) > 0 {
-		hit := marshal(queryHitPayload{GUID: q.GUID, Results: results})
+		hit := g.cdc.Encode(&queryHitPayload{GUID: q.GUID, Results: results})
 		// Route the hit back toward the origin along the reverse path.
 		_ = g.ep.Send(transport.Message{To: msg.From, Type: MsgQueryHit, Payload: hit,
 			TraceID: tctx.Trace, SpanID: tctx.Span})
@@ -390,7 +401,7 @@ func (g *GnutellaNode) handleQuery(msg transport.Message) {
 	fwd := q
 	fwd.TTL--
 	fwd.Hops = hops
-	payload := marshal(fwd)
+	payload := g.cdc.Encode(&fwd)
 	for _, n := range neighbors {
 		if n == msg.From {
 			continue
@@ -403,7 +414,7 @@ func (g *GnutellaNode) handleQuery(msg transport.Message) {
 
 func (g *GnutellaNode) handleQueryHit(msg transport.Message) {
 	var hit queryHitPayload
-	if err := json.Unmarshal(msg.Payload, &hit); err != nil {
+	if err := g.cdc.DecodeValue(&hit, msg.Payload); err != nil {
 		return
 	}
 	g.mu.RLock()

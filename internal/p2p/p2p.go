@@ -22,7 +22,6 @@
 package p2p
 
 import (
-	"encoding/json"
 	"fmt"
 	"hash/fnv"
 	"sort"
@@ -33,6 +32,7 @@ import (
 	"repro/internal/dsim"
 	"repro/internal/errs"
 	"repro/internal/index"
+	"repro/internal/p2p/codec"
 	"repro/internal/query"
 	"repro/internal/trace"
 	"repro/internal/transport"
@@ -211,16 +211,6 @@ type attachmentReplyPayload struct {
 	Data  []byte `json:"data,omitempty"`
 }
 
-func marshal(v any) []byte {
-	b, err := json.Marshal(v)
-	if err != nil {
-		// All payload types are plain data; failure is a programming
-		// error worth failing loudly on.
-		panic(fmt.Sprintf("p2p: marshal: %v", err))
-	}
-	return b
-}
-
 // --- request/response correlation ---
 
 // PendingTable matches responses to outstanding requests by ID. It is
@@ -229,30 +219,35 @@ func marshal(v any) []byte {
 // instead of reimplementing it. Request IDs count locally per table,
 // which keeps them deterministic per node per run (a requirement of
 // golden-trace reproducibility, like the per-node GUID sources).
+//
+// Replies travel as decoded frames, not raw bytes: the receiving
+// handler decodes once and resolves with the typed value, and the
+// awaiter type-asserts — no payload is unmarshaled twice.
 type PendingTable struct {
 	mu   sync.Mutex
 	next uint64
-	m    map[uint64]chan json.RawMessage
+	m    map[uint64]chan any
 }
 
 // NewPendingTable returns an empty correlation table.
 func NewPendingTable() *PendingTable {
-	return &PendingTable{m: make(map[uint64]chan json.RawMessage)}
+	return &PendingTable{m: make(map[uint64]chan any)}
 }
 
 // Create registers a new request and returns its ID and reply channel.
-func (p *PendingTable) Create() (uint64, chan json.RawMessage) {
+func (p *PendingTable) Create() (uint64, chan any) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.next++
 	id := p.next
-	ch := make(chan json.RawMessage, 1)
+	ch := make(chan any, 1)
 	p.m[id] = ch
 	return id, ch
 }
 
-// Resolve delivers a response; late or unknown responses are dropped.
-func (p *PendingTable) Resolve(id uint64, payload json.RawMessage) {
+// Resolve delivers a decoded reply frame; late or unknown responses
+// are dropped.
+func (p *PendingTable) Resolve(id uint64, reply any) {
 	p.mu.Lock()
 	ch, ok := p.m[id]
 	if ok {
@@ -261,7 +256,7 @@ func (p *PendingTable) Resolve(id uint64, payload json.RawMessage) {
 	p.mu.Unlock()
 	if ok {
 		select {
-		case ch <- payload:
+		case ch <- reply:
 		default:
 		}
 	}
@@ -281,10 +276,10 @@ func (p *PendingTable) Drop(id uint64) {
 // wall-clock timeout out, which is what lets lossy simulations run
 // 100k queries in seconds and keeps virtual clocks free of real
 // waiting.
-func Await(clk dsim.Clock, synchronous bool, ch chan json.RawMessage, timeout time.Duration) (json.RawMessage, error) {
+func Await(clk dsim.Clock, synchronous bool, ch chan any, timeout time.Duration) (any, error) {
 	select {
-	case payload := <-ch:
-		return payload, nil
+	case reply := <-ch:
+		return reply, nil
 	default:
 	}
 	if synchronous {
@@ -297,8 +292,8 @@ func Await(clk dsim.Clock, synchronous bool, ch chan json.RawMessage, timeout ti
 		clk = dsim.Wall
 	}
 	select {
-	case payload := <-ch:
-		return payload, nil
+	case reply := <-ch:
+		return reply, nil
 	case <-clk.After(timeout):
 		return nil, ErrTimeout
 	}
@@ -322,16 +317,34 @@ func newGUIDSource(id transport.PeerID) *guidSource {
 
 func (g *guidSource) next() uint64 { return g.prefix | (g.ctr.Add(1) & (1<<24 - 1)) }
 
-// sortedPeers snapshots a peer set in sorted order, so floods fan out
-// in an order independent of map iteration — a precondition for
-// deterministic traces and loss decisions.
-func sortedPeers(m map[transport.PeerID]struct{}) []transport.PeerID {
-	out := make([]transport.PeerID, 0, len(m))
-	for p := range m {
-		out = append(out, p)
+// Neighbor sets are copy-on-write sorted slices: membership changes
+// (rare: wiring, churn) build a fresh slice, reads (hot: every flood)
+// share the current one with no snapshot, no sort, no allocation —
+// and iteration order is deterministic by construction.
+
+// peerSliceAdd returns a new sorted slice with peer inserted (no-op
+// when already present). The input slice is never mutated.
+func peerSliceAdd(s []transport.PeerID, peer transport.PeerID) []transport.PeerID {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= peer })
+	if i < len(s) && s[i] == peer {
+		return s
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	out := make([]transport.PeerID, 0, len(s)+1)
+	out = append(out, s[:i]...)
+	out = append(out, peer)
+	return append(out, s[i:]...)
+}
+
+// peerSliceRemove returns a new sorted slice without peer (no-op when
+// absent). The input slice is never mutated.
+func peerSliceRemove(s []transport.PeerID, peer transport.PeerID) []transport.PeerID {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= peer })
+	if i >= len(s) || s[i] != peer {
+		return s
+	}
+	out := make([]transport.PeerID, 0, len(s)-1)
+	out = append(out, s[:i]...)
+	return append(out, s[i+1:]...)
 }
 
 // ServeFetch answers MsgFetch from a local store: the provider side of
@@ -339,9 +352,9 @@ func sortedPeers(m map[transport.PeerID]struct{}) []transport.PeerID {
 // overlay in internal/dht, which is why it is exported). When the
 // inbound frame carries a trace context and tr is non-nil, the serve
 // is recorded as a child span with the reply attributed to it.
-func ServeFetch(tr *trace.Tracer, ep transport.Endpoint, store *index.Store, msg transport.Message) {
+func ServeFetch(c codec.Codec, tr *trace.Tracer, ep transport.Endpoint, store *index.Store, msg transport.Message) {
 	var req fetchPayload
-	if err := json.Unmarshal(msg.Payload, &req); err != nil {
+	if err := c.DecodeValue(&req, msg.Payload); err != nil {
 		return
 	}
 	inCtx := trace.Context{Trace: msg.TraceID, Span: msg.SpanID}
@@ -356,7 +369,7 @@ func ServeFetch(tr *trace.Tracer, ep transport.Endpoint, store *index.Store, msg
 	} else {
 		sp.SetErr(fmt.Errorf("%w: %s", ErrNotProvided, req.DocID))
 	}
-	payload := marshal(reply)
+	payload := c.Encode(&reply)
 	_ = ep.Send(transport.Message{
 		To:      msg.From,
 		Type:    MsgFetchReply,
@@ -368,9 +381,9 @@ func ServeFetch(tr *trace.Tracer, ep transport.Endpoint, store *index.Store, msg
 }
 
 // ServeAttachment answers MsgAttachment via the provider callback.
-func ServeAttachment(tr *trace.Tracer, ep transport.Endpoint, provider AttachmentProvider, msg transport.Message) {
+func ServeAttachment(c codec.Codec, tr *trace.Tracer, ep transport.Endpoint, provider AttachmentProvider, msg transport.Message) {
 	var req attachmentPayload
-	if err := json.Unmarshal(msg.Payload, &req); err != nil {
+	if err := c.DecodeValue(&req, msg.Payload); err != nil {
 		return
 	}
 	inCtx := trace.Context{Trace: msg.TraceID, Span: msg.SpanID}
@@ -388,7 +401,7 @@ func ServeAttachment(tr *trace.Tracer, ep transport.Endpoint, provider Attachmen
 	if !reply.Found {
 		sp.SetErr(ErrNotProvided)
 	}
-	payload := marshal(reply)
+	payload := c.Encode(&reply)
 	_ = ep.Send(transport.Message{
 		To:      msg.From,
 		Type:    MsgAttachmentReply,
@@ -403,10 +416,10 @@ func ServeAttachment(tr *trace.Tracer, ep transport.Endpoint, provider Attachmen
 // protocol. sp, when active, is the caller's fetch span: the request
 // frame is stamped with its context and attributed to it (the caller
 // finishes the span).
-func RetrieveFrom(clk dsim.Clock, ep transport.Endpoint, pending *PendingTable, sp *trace.ActiveSpan, id index.DocID, from transport.PeerID, timeout time.Duration) (*index.Document, error) {
+func RetrieveFrom(c codec.Codec, clk dsim.Clock, ep transport.Endpoint, pending *PendingTable, sp *trace.ActiveSpan, id index.DocID, from transport.PeerID, timeout time.Duration) (*index.Document, error) {
 	reqID, ch := pending.Create()
 	tctx := sp.Context()
-	payload := marshal(fetchPayload{ReqID: reqID, DocID: id})
+	payload := c.Encode(&fetchPayload{ReqID: reqID, DocID: id})
 	err := ep.Send(transport.Message{
 		To:      from,
 		Type:    MsgFetch,
@@ -420,15 +433,15 @@ func RetrieveFrom(clk dsim.Clock, ep transport.Endpoint, pending *PendingTable, 
 		sp.SetErr(err)
 		return nil, fmt.Errorf("p2p: fetch: %w", err)
 	}
-	raw, err := Await(clk, ep.Synchronous(), ch, timeout)
+	got, err := Await(clk, ep.Synchronous(), ch, timeout)
 	if err != nil {
 		pending.Drop(reqID)
 		sp.SetErr(err)
 		return nil, err
 	}
-	var reply fetchReplyPayload
-	if err := json.Unmarshal(raw, &reply); err != nil {
-		return nil, fmt.Errorf("p2p: fetch reply: %w", err)
+	reply, ok := got.(*fetchReplyPayload)
+	if !ok {
+		return nil, fmt.Errorf("p2p: fetch reply: unexpected frame %T", got)
 	}
 	if !reply.Found || reply.Doc == nil {
 		err := fmt.Errorf("%w: %s at %s", ErrNotProvided, id, from)
@@ -441,10 +454,10 @@ func RetrieveFrom(clk dsim.Clock, ep transport.Endpoint, pending *PendingTable, 
 // RetrieveAttachmentFrom implements the client side of attachment
 // download for both protocols. sp is the caller's span, as in
 // RetrieveFrom.
-func RetrieveAttachmentFrom(clk dsim.Clock, ep transport.Endpoint, pending *PendingTable, sp *trace.ActiveSpan, uri string, from transport.PeerID, timeout time.Duration) ([]byte, error) {
+func RetrieveAttachmentFrom(c codec.Codec, clk dsim.Clock, ep transport.Endpoint, pending *PendingTable, sp *trace.ActiveSpan, uri string, from transport.PeerID, timeout time.Duration) ([]byte, error) {
 	reqID, ch := pending.Create()
 	tctx := sp.Context()
-	payload := marshal(attachmentPayload{ReqID: reqID, URI: uri})
+	payload := c.Encode(&attachmentPayload{ReqID: reqID, URI: uri})
 	err := ep.Send(transport.Message{
 		To:      from,
 		Type:    MsgAttachment,
@@ -458,15 +471,15 @@ func RetrieveAttachmentFrom(clk dsim.Clock, ep transport.Endpoint, pending *Pend
 		sp.SetErr(err)
 		return nil, fmt.Errorf("p2p: attachment: %w", err)
 	}
-	raw, err := Await(clk, ep.Synchronous(), ch, timeout)
+	got, err := Await(clk, ep.Synchronous(), ch, timeout)
 	if err != nil {
 		pending.Drop(reqID)
 		sp.SetErr(err)
 		return nil, err
 	}
-	var reply attachmentReplyPayload
-	if err := json.Unmarshal(raw, &reply); err != nil {
-		return nil, fmt.Errorf("p2p: attachment reply: %w", err)
+	reply, ok := got.(*attachmentReplyPayload)
+	if !ok {
+		return nil, fmt.Errorf("p2p: attachment reply: unexpected frame %T", got)
 	}
 	if !reply.Found {
 		err := fmt.Errorf("%w: attachment %s at %s", ErrNotProvided, uri, from)
@@ -474,6 +487,29 @@ func RetrieveAttachmentFrom(clk dsim.Clock, ep transport.Endpoint, pending *Pend
 		return nil, err
 	}
 	return reply.Data, nil
+}
+
+// ResolveRetrievalReply routes an inbound MsgFetchReply or
+// MsgAttachmentReply to its awaiting request: decode once, resolve
+// with the typed frame. It reports whether the message was one of the
+// retrieval reply types (decoded or not), so protocol handlers can
+// delegate both cases in one call.
+func ResolveRetrievalReply(c codec.Codec, pending *PendingTable, msg transport.Message) bool {
+	switch msg.Type {
+	case MsgFetchReply:
+		var reply fetchReplyPayload
+		if err := c.DecodeValue(&reply, msg.Payload); err == nil {
+			pending.Resolve(reply.ReqID, &reply)
+		}
+		return true
+	case MsgAttachmentReply:
+		var reply attachmentReplyPayload
+		if err := c.DecodeValue(&reply, msg.Payload); err == nil {
+			pending.Resolve(reply.ReqID, &reply)
+		}
+		return true
+	}
+	return false
 }
 
 // ReannounceLocal streams every document in the local store through

@@ -1,7 +1,6 @@
 package p2p
 
 import (
-	"encoding/json"
 	"sync"
 
 	"repro/internal/transport"
@@ -73,7 +72,7 @@ func (g *GnutellaNode) Discover(ttl int) []transport.PeerID {
 	g.disc.pongs[guid] = nil
 	g.disc.mu.Unlock()
 
-	payload := marshal(pingPayload{GUID: guid, Origin: g.ep.ID(), TTL: ttl})
+	payload := g.cdc.Encode(&pingPayload{GUID: guid, Origin: g.ep.ID(), TTL: ttl})
 	for _, n := range neighbors {
 		_ = g.ep.Send(transport.Message{To: n, Type: MsgPing, Payload: payload})
 	}
@@ -86,10 +85,9 @@ func (g *GnutellaNode) Discover(ttl int) []transport.PeerID {
 	var added []transport.PeerID
 	for _, peer := range discovered {
 		g.mu.Lock()
-		_, already := g.neighbors[peer]
-		room := len(g.neighbors) < MaxNeighbors
-		if !already && room && peer != g.ep.ID() {
-			g.neighbors[peer] = struct{}{}
+		grown := peerSliceAdd(g.neighbors, peer)
+		if len(grown) > len(g.neighbors) && len(g.neighbors) < MaxNeighbors && peer != g.ep.ID() {
+			g.neighbors = grown
 			added = append(added, peer)
 		}
 		g.mu.Unlock()
@@ -100,7 +98,7 @@ func (g *GnutellaNode) Discover(ttl int) []transport.PeerID {
 // handlePing answers with a Pong and forwards the flood.
 func (g *GnutellaNode) handlePing(msg transport.Message) {
 	var p pingPayload
-	if err := json.Unmarshal(msg.Payload, &p); err != nil {
+	if err := g.cdc.DecodeValue(&p, msg.Payload); err != nil {
 		return
 	}
 	g.mu.Lock()
@@ -116,7 +114,7 @@ func (g *GnutellaNode) handlePing(msg transport.Message) {
 	_ = g.ep.Send(transport.Message{
 		To:      msg.From,
 		Type:    MsgPong,
-		Payload: marshal(pongPayload{GUID: p.GUID, Peer: g.ep.ID(), Hops: hops}),
+		Payload: g.cdc.Encode(&pongPayload{GUID: p.GUID, Peer: g.ep.ID(), Hops: hops}),
 	})
 	if p.TTL <= 1 {
 		return
@@ -124,7 +122,7 @@ func (g *GnutellaNode) handlePing(msg transport.Message) {
 	fwd := p
 	fwd.TTL--
 	fwd.Hops = hops
-	payload := marshal(fwd)
+	payload := g.cdc.Encode(&fwd)
 	for _, n := range neighbors {
 		if n != msg.From {
 			_ = g.ep.Send(transport.Message{To: n, Type: MsgPing, Payload: payload})
@@ -135,7 +133,7 @@ func (g *GnutellaNode) handlePing(msg transport.Message) {
 // handlePong collects at the origin or relays backward.
 func (g *GnutellaNode) handlePong(msg transport.Message) {
 	var p pongPayload
-	if err := json.Unmarshal(msg.Payload, &p); err != nil {
+	if err := g.cdc.DecodeValue(&p, msg.Payload); err != nil {
 		return
 	}
 	g.mu.RLock()

@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/p2p/codec"
+)
+
+// TestCodecEquivalence proves the binary wire codec is semantically
+// identical to the JSON one: the same fully loaded golden scenario
+// (churn, loss, jitter, flash crowd, failover) run under each codec
+// must deliver the same number of messages, drop the same ones, and
+// return the same results with the same recall on every query — on
+// all four protocols. Only the payload bytes (and hence the trace
+// hash) may differ. This is what lets the binary codec be the default
+// without re-arguing protocol correctness: any divergence it
+// introduced would surface here as a recall or message-count delta.
+func TestCodecEquivalence(t *testing.T) {
+	for _, proto := range []Protocol{Centralized, Gnutella, FastTrack, DHT} {
+		t.Run(proto.String(), func(t *testing.T) {
+			cfgBin := goldenConfig(proto, 42)
+			cfgBin.Cluster.Codec = codec.Binary
+			rBin, err := RunScenario(cfgBin)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfgJSON := goldenConfig(proto, 42)
+			cfgJSON.Cluster.Codec = codec.JSON
+			rJSON, err := RunScenario(cfgJSON)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rBin.TraceLen == 0 {
+				t.Fatal("empty trace")
+			}
+			if rBin.TraceLen != rJSON.TraceLen {
+				t.Fatalf("message counts differ: binary %d vs json %d", rBin.TraceLen, rJSON.TraceLen)
+			}
+			if rBin.Messages != rJSON.Messages || rBin.Dropped != rJSON.Dropped {
+				t.Fatalf("delivery differs: binary %d/%d vs json %d/%d",
+					rBin.Messages, rBin.Dropped, rJSON.Messages, rJSON.Dropped)
+			}
+			if rBin.Queries != rJSON.Queries || rBin.Failed != rJSON.Failed {
+				t.Fatalf("workload differs: binary %d/%d vs json %d/%d",
+					rBin.Queries, rBin.Failed, rJSON.Queries, rJSON.Failed)
+			}
+			if len(rBin.Samples) != len(rJSON.Samples) {
+				t.Fatalf("sample counts differ: %d vs %d", len(rBin.Samples), len(rJSON.Samples))
+			}
+			for i := range rBin.Samples {
+				a, b := rBin.Samples[i], rJSON.Samples[i]
+				if a.Recall != b.Recall || a.Results != b.Results || a.Messages != b.Messages {
+					t.Fatalf("sample %d differs: binary %+v vs json %+v", i, a, b)
+				}
+			}
+			// The payloads themselves must differ — equal hashes would
+			// mean the codec switch never took effect.
+			if rBin.TraceHash == rJSON.TraceHash {
+				t.Error("binary and JSON runs hashed identically; codec selection is not wired")
+			}
+		})
+	}
+}

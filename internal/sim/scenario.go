@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"slices"
 	"sort"
 	"time"
 
@@ -205,8 +206,12 @@ func (r *ScenarioResult) LatencyPercentile(p float64) time.Duration {
 
 // docTruth is driver-side ground truth for one published object.
 type docTruth struct {
-	attrs   query.Attrs
-	holders map[int]bool // servent index -> holds a copy
+	attrs query.Attrs
+	// holders is the servent indices holding a copy — a tiny dense
+	// slice (most objects have one publisher), not a map: the truth
+	// table is consulted on every query, and at 10k+ peers the
+	// per-doc map headers dominated its footprint.
+	holders []int
 }
 
 // scenario is the running state of one RunScenario call.
@@ -368,10 +373,12 @@ func (s *scenario) publishFresh(p int) error {
 	}
 	t := s.truth[id]
 	if t == nil {
-		t = &docTruth{attrs: doc.Attrs, holders: make(map[int]bool)}
+		t = &docTruth{attrs: doc.Attrs}
 		s.truth[id] = t
 	}
-	t.holders[p] = true
+	if !slices.Contains(t.holders, p) {
+		t.holders = append(t.holders, p)
+	}
 	return nil
 }
 
@@ -383,7 +390,7 @@ func (s *scenario) expected(f query.Filter) map[index.DocID]bool {
 		if !f.Match(t.attrs) {
 			continue
 		}
-		for p := range t.holders {
+		for _, p := range t.holders {
 			if s.cluster.Alive(p) {
 				out[id] = true
 				break

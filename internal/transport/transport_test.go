@@ -300,3 +300,41 @@ func TestTCPCloseIdempotent(t *testing.T) {
 		t.Errorf("send after close = %v", err)
 	}
 }
+
+// TestMemDeliveryZeroAlloc pins the MemNetwork hot path: with trace
+// hashing, per-peer load counting, a latency model, and metrics all
+// enabled, a delivered message must not allocate. This is the floor
+// the 10k-peer scale ladder stands on — at millions of deliveries per
+// run, one allocation per message is GC-bound, zero is CPU-bound.
+func TestMemDeliveryZeroAlloc(t *testing.T) {
+	n := NewMemNetwork(
+		WithTrace(),
+		WithPeerLoad(),
+		WithFixedLatency(5*time.Millisecond),
+	)
+	a, err := n.Endpoint("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.Endpoint("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.SetHandler(func(Message) {})
+	msg := Message{To: "b", Type: "query", Payload: []byte("filter=(k=v)")}
+	// Warm: first delivery creates the per-type counter and the
+	// peer-load map entry.
+	if err := a.Send(msg); err != nil {
+		t.Fatal(err)
+	}
+	if got := testing.AllocsPerRun(500, func() {
+		if err := a.Send(msg); err != nil {
+			t.Fatal(err)
+		}
+	}); got > 0 {
+		t.Fatalf("delivery allocs/op = %v, want 0", got)
+	}
+	if n.TraceHash() == 0 || n.TraceLen() == 0 {
+		t.Fatal("trace hashing was not active during the pin")
+	}
+}
